@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench examples experiments verify golden clean
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test: build vet
+	go test ./...
+
+# Scaled-machine campaign + ablations; minutes.
+bench:
+	go test -run XXX -bench=. -benchmem ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/interactive
+	go run ./examples/stencil
+	go run ./examples/indirect
+	go run ./examples/timeline
+
+# Full Table-1 platform; 10-15 minutes.
+experiments:
+	go run ./cmd/memhog all
+
+# Check the paper's claims at full scale; exits non-zero on failure.
+verify:
+	go run ./cmd/memhog verify
+
+# Regenerate the compiler's golden listings after intentional analysis
+# changes.
+golden:
+	go run ./cmd/gen-golden
+
+clean:
+	go clean ./...

@@ -1,0 +1,27 @@
+// Command gen-golden regenerates the compiler's golden listings for
+// the built-in benchmarks (internal/compiler/testdata). Run it after
+// an intentional change to the analysis and review the diff.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/kernel"
+	"memhogs/internal/workload"
+)
+
+func main() {
+	cfg := kernel.DefaultConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	for _, s := range workload.All() {
+		c := compiler.MustCompile(s.Program(nil), tgt)
+		path := "internal/compiler/testdata/" + s.Name + ".golden"
+		if err := os.WriteFile(path, []byte(c.Listing()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

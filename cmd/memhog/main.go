@@ -1,0 +1,188 @@
+// Command memhog regenerates the paper's tables and figures and runs
+// individual benchmarks on the simulated platform.
+//
+// Usage:
+//
+//	memhog table1|table2|table3|fig1|fig7|fig8|fig9|fig10a|fig10b|fig10c|locks
+//	memhog all                  # every table and figure, in paper order
+//	memhog verify               # check the paper's claims; exit 1 on failure
+//	memhog run <benchmark>      # one benchmark, all four versions
+//	memhog listing <benchmark>  # transformed code with inserted hints
+//	memhog timeline <benchmark> [O|P|R|B]  # memory dynamics over time
+//	memhog sensitivity <benchmark>         # memory-size sweep
+//	memhog duel <a> <b>         # two memory hogs sharing the machine
+//	memhog list                 # benchmark names
+//
+// Flags:
+//
+//	-quick    use the scaled-down machine and benchmarks (seconds, not minutes)
+//	-quiet    suppress per-run progress lines
+//	-json     machine-readable output (run command)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memhogs"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the scaled-down machine and benchmarks")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON (run command only)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	machine := memhogs.DefaultMachine()
+	if *quick {
+		machine = memhogs.TestMachine()
+	}
+
+	cmd := flag.Arg(0)
+	switch cmd {
+	case "list":
+		for _, name := range memhogs.BenchmarkNames() {
+			fmt.Println(name)
+		}
+	case "run":
+		if flag.NArg() < 2 {
+			fatal("run: need a benchmark name (see 'memhog list')")
+		}
+		name := flag.Arg(1)
+		var reports []*memhogs.Report
+		for _, v := range memhogs.Versions() {
+			rep, err := memhogs.RunBenchmark(name, v, machine)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if *asJSON {
+				reports = append(reports, rep)
+			} else {
+				fmt.Print(rep)
+			}
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reports); err != nil {
+				fatal("%v", err)
+			}
+		}
+	case "listing":
+		if flag.NArg() < 2 {
+			fatal("listing: need a benchmark name")
+		}
+		src, err := memhogs.BenchmarkSource(flag.Arg(1), machine)
+		if err != nil {
+			fatal("%v", err)
+		}
+		prog, err := memhogs.Compile(src, machine, memhogs.Buffered)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(prog.Listing())
+	case "duel":
+		if flag.NArg() < 3 {
+			fatal("duel: need two benchmark names")
+		}
+		out, err := memhogs.Duel(flag.Arg(1), flag.Arg(2), machine)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(out)
+	case "sensitivity":
+		if flag.NArg() < 2 {
+			fatal("sensitivity: need a benchmark name")
+		}
+		out, err := memhogs.Sensitivity(flag.Arg(1), *quick, progress)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(out)
+	case "timeline":
+		if flag.NArg() < 2 {
+			fatal("timeline: need a benchmark name")
+		}
+		version := memhogs.Buffered
+		if flag.NArg() >= 3 {
+			switch flag.Arg(2) {
+			case "O":
+				version = memhogs.Original
+			case "P":
+				version = memhogs.PrefetchOnly
+			case "R":
+				version = memhogs.Aggressive
+			case "B":
+				version = memhogs.Buffered
+			default:
+				fatal("unknown version %q (want O, P, R or B)", flag.Arg(2))
+			}
+		}
+		seconds := 20
+		if *quick {
+			seconds = 5
+		}
+		out, err := memhogs.Timeline(flag.Arg(1), version, machine, seconds, 2000)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(out)
+	case "verify":
+		out, ok, err := memhogs.Verify(*quick, progress)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(out)
+		if !ok {
+			os.Exit(1)
+		}
+	case "all":
+		out, err := memhogs.AllExperiments(*quick, progress)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(out)
+	default:
+		// Experiment ids (including extras like "locks" that are not
+		// part of the paper-order list).
+		out, err := memhogs.Experiment(cmd, *quick, progress)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `memhog — "Taming the Memory Hogs" (OSDI 2000) reproduction
+
+usage:
+  memhog [-quick] <experiment>   one of: %v
+  memhog [-quick] all            every table and figure, paper order
+  memhog [-quick] run <bench>    one benchmark in all four versions
+  memhog [-quick] listing <bench> transformed code with inserted hints
+  memhog [-quick] timeline <bench> [O|P|R|B]  memory dynamics over time
+  memhog [-quick] sensitivity <bench>  memory-size sweep (P vs B crossover)
+  memhog [-quick] duel <a> <b>   two memory hogs sharing the machine
+  memhog [-quick] verify         check the paper's claims, exit 1 on failure
+  memhog list                    benchmark names
+`, memhogs.ExperimentIDs())
+	flag.PrintDefaults()
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "memhog: "+format+"\n", args...)
+	os.Exit(1)
+}

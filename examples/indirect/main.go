@@ -1,0 +1,61 @@
+// Indirect: histogramming through a data-dependent index (the BUK
+// pattern, rank[key[i]]). The compiler can prefetch indirect
+// references — it evaluates key[i+d] ahead of time — but it never
+// releases them, because "it is too hard to predict whether the data
+// will be accessed again" (§3.2). The randomly-accessed array
+// therefore stays resident while the sequential arrays are streamed
+// and released behind the sweep — a replacement decision better than
+// the OS's uniform policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memhogs"
+)
+
+const src = `
+program histogram
+param N
+array key[131072] of int64
+array hist[131072] of int64
+for i = 0 to N-1 {
+    hist[key[i]] = hist[key[i]] + 1 @ 40
+}
+`
+
+func main() {
+	machine := memhogs.TestMachine()
+
+	for _, v := range []memhogs.Version{memhogs.PrefetchOnly, memhogs.Aggressive} {
+		prog, err := memhogs.Compile(src, machine, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The index array's contents are supplied by the application:
+		// a deterministic pseudo-random key stream.
+		prog.SetData("key", func(i int64) int64 {
+			x := uint64(i)
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			x ^= x >> 33
+			return int64(x % 131072)
+		})
+		if v == memhogs.Aggressive {
+			fmt.Println("=== transformed code (note: hist is prefetched but never released) ===")
+			fmt.Println(prog.Listing())
+		}
+		rep, err := prog.Run(memhogs.RunOptions{
+			Params:             map[string]int64{"N": 131072},
+			InteractiveSleepMS: -1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+	}
+
+	fmt.Println("\nExpected shape: with releasing, the sequential key array is freed behind")
+	fmt.Println("the sweep, the random hist array stays resident, and the paging daemon is idle.")
+}

@@ -1,0 +1,27 @@
+// Timeline: watch the memory system's dynamics while a memory hog and
+// an interactive task share the machine. With prefetch-only (P), the
+// hog's resident set swallows the machine within a fraction of a
+// second, the interactive task's pages go to zero, and the paging
+// daemon's stolen-page counter climbs. With buffered releasing (B),
+// the free list stays stocked, the daemon stays idle, and the
+// interactive task keeps its pages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memhogs"
+)
+
+func main() {
+	machine := memhogs.TestMachine()
+	for _, v := range []memhogs.Version{memhogs.PrefetchOnly, memhogs.Buffered} {
+		fmt.Printf("=== matvec (%s) with a 1 MB interactive task ===\n", v)
+		out, err := memhogs.Timeline("matvec", v, machine, 5, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,92 @@
+package memhogs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDuelFacade(t *testing.T) {
+	out, err := Duel("matvec", "embar", TestMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"matvec", "embar", "stolen(A)", "O", "B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("duel output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityFacade(t *testing.T) {
+	out, err := Sensitivity("matvec", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mem/data") {
+		t.Fatalf("sensitivity output malformed:\n%s", out)
+	}
+}
+
+func TestTimelineFacade(t *testing.T) {
+	out, err := Timeline("matvec", PrefetchOnly, TestMachine(), 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"memory timeline", "free", "interactive", "samples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+}
+
+func TestTimelineWithoutInteractive(t *testing.T) {
+	out, err := Timeline("embar", Buffered, TestMachine(), 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "interactive") {
+		t.Fatal("interactive task present despite sleepMS < 0")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := RunBenchmark("embar", Aggressive, TestMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != "embar" || back.Version != "R" {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	if back.ElapsedSeconds != rep.ElapsedSeconds || back.PagesReleased != rep.PagesReleased {
+		t.Fatal("round trip lost numbers")
+	}
+}
+
+func TestVerifyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick campaign")
+	}
+	out, _, err := Verify(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quick campaign need not pass every full-scale claim, but it
+	// must render and evaluate them all.
+	if !strings.Contains(out, "claims hold") {
+		t.Fatalf("verify output malformed:\n%s", out)
+	}
+	for _, id := range []string{"C1", "C3", "C7c", "C9a"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("claim %s not evaluated", id)
+		}
+	}
+}

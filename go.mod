@@ -1,0 +1,3 @@
+module memhogs
+
+go 1.22

@@ -1,0 +1,703 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"memhogs/internal/lang"
+	"memhogs/internal/sim"
+)
+
+// testTarget: 16 KB pages, 4800-page memory, like the paper's
+// platform.
+func testTarget() Target {
+	t := DefaultTarget(16<<10, 4800)
+	t.FaultLatency = 8 * sim.Millisecond
+	return t
+}
+
+const matvecSrc = `
+program matvec
+param N, M
+known N = 3200
+known M = 16384
+array A[N][M] of float64
+array x[M] of float64
+array y[N] of float64
+for i = 0 to N-1 {
+    for j = 0 to M-1 {
+        y[i] = y[i] + A[i][j] * x[j] @ 20
+    }
+}
+`
+
+func compileMatvec(t *testing.T) *Compiled {
+	t.Helper()
+	return MustCompile(lang.MustParse(matvecSrc), testTarget())
+}
+
+// recordingHints captures everything the compiled program emits.
+type recordingHints struct {
+	touches    []int64
+	writes     map[int64]bool
+	workNS     float64
+	prefetches map[int][]int64 // tag -> pages in order
+	releases   map[int][]int64
+	relPrio    map[int]int
+}
+
+func newRec() *recordingHints {
+	return &recordingHints{
+		writes:     map[int64]bool{},
+		prefetches: map[int][]int64{},
+		releases:   map[int][]int64{},
+		relPrio:    map[int]int{},
+	}
+}
+
+func (h *recordingHints) Touch(page int64, write bool) {
+	h.touches = append(h.touches, page)
+	if write {
+		h.writes[page] = true
+	}
+}
+func (h *recordingHints) Work(ns float64) { h.workNS += ns }
+func (h *recordingHints) Prefetch(tag int, pages []int64) {
+	h.prefetches[tag] = append(h.prefetches[tag], pages...)
+}
+func (h *recordingHints) Release(tag, prio int, page int64) {
+	h.releases[tag] = append(h.releases[tag], page)
+	h.relPrio[tag] = prio
+}
+
+func (h *recordingHints) allPrefetched() map[int64]bool {
+	out := map[int64]bool{}
+	for _, pages := range h.prefetches {
+		for _, p := range pages {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func (h *recordingHints) allReleased() map[int64]bool {
+	out := map[int64]bool{}
+	for _, pages := range h.releases {
+		for _, p := range pages {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func TestMatvecAnalysis(t *testing.T) {
+	c := compileMatvec(t)
+	st := c.Stats
+	if st.Nests != 1 {
+		t.Errorf("nests = %d", st.Nests)
+	}
+	// Groups: y (two refs merge), A, x.
+	if st.Groups != 3 {
+		t.Errorf("groups = %d, want 3", st.Groups)
+	}
+	if st.PrefetchDirs != 3 || st.ReleaseDirs != 3 {
+		t.Errorf("dirs = %d pf / %d rel, want 3/3", st.PrefetchDirs, st.ReleaseDirs)
+	}
+	// A is streamed (no temporal reuse): priority 0. x has temporal
+	// reuse along i (depth 0): priority 1. y has temporal reuse along
+	// j (depth 1): priority 2.
+	if st.ZeroPrioReleases != 1 || st.ReusePrioReleases != 2 {
+		t.Errorf("release priorities: zero=%d reuse=%d, want 1/2", st.ZeroPrioReleases, st.ReusePrioReleases)
+	}
+	if st.MisdetectedReuse != 0 {
+		t.Errorf("misdetected reuse on a fully affine program: %d", st.MisdetectedReuse)
+	}
+}
+
+func TestMatvecExecutionTouchesEveryPage(t *testing.T) {
+	// Shrink the problem to keep the test fast.
+	prog := lang.MustParse(strings.ReplaceAll(strings.ReplaceAll(matvecSrc,
+		"known N = 3200", "known N = 64"), "known M = 16384", "known M = 8192"))
+	c := MustCompile(prog, testTarget())
+	img, err := c.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	// A is 64*8192*8 = 4 MB = 256 pages; x is 4 pages; y is 1 page.
+	a := prog.FindArray("A")
+	aLo, aHi := img.PageRange(a)
+	if aHi-aLo+1 != 256 {
+		t.Fatalf("A spans %d pages, want 256", aHi-aLo+1)
+	}
+	seen := map[int64]bool{}
+	for _, p := range h.touches {
+		seen[p] = true
+	}
+	for p := aLo; p <= aHi; p++ {
+		if !seen[p] {
+			t.Fatalf("page %d of A never touched", p)
+		}
+	}
+	// y pages are written; A pages are not.
+	y := prog.FindArray("y")
+	yLo, _ := img.PageRange(y)
+	if !h.writes[yLo] {
+		t.Error("y page not marked written")
+	}
+	if h.writes[aLo] {
+		t.Error("A page marked written")
+	}
+	// Work: N*M iterations at 20ns.
+	want := float64(64*8192) * 20
+	if h.workNS < want*0.999 || h.workNS > want*1.001 {
+		t.Errorf("work = %.0fns, want %.0f", h.workNS, want)
+	}
+}
+
+func TestMatvecPrefetchCoversMatrix(t *testing.T) {
+	prog := lang.MustParse(strings.ReplaceAll(strings.ReplaceAll(matvecSrc,
+		"known N = 3200", "known N = 64"), "known M = 16384", "known M = 8192"))
+	c := MustCompile(prog, testTarget())
+	img, _ := c.Bind(nil)
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	pf := h.allPrefetched()
+	a := prog.FindArray("A")
+	aLo, aHi := img.PageRange(a)
+	missing := 0
+	for p := aLo; p <= aHi; p++ {
+		if !pf[p] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d A pages never prefetched", missing)
+	}
+	// The release stream covers A too (trailing-edge releases).
+	rel := h.allReleased()
+	relA := 0
+	for p := aLo; p <= aHi; p++ {
+		if rel[p] {
+			relA++
+		}
+	}
+	if relA < int(aHi-aLo) {
+		t.Fatalf("only %d A pages released", relA)
+	}
+}
+
+func TestMatvecVectorPrefetchGatedToFirstRow(t *testing.T) {
+	prog := lang.MustParse(strings.ReplaceAll(strings.ReplaceAll(matvecSrc,
+		"known N = 3200", "known N = 64"), "known M = 16384", "known M = 8192"))
+	c := MustCompile(prog, testTarget())
+	img, _ := c.Bind(nil)
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	// x's reuse along i is exploitable, so its prefetches happen only
+	// during the first i iteration: exactly its 4 pages, no repeats
+	// beyond the pipelining overlap.
+	x := prog.FindArray("x")
+	xLo, xHi := img.PageRange(x)
+	count := 0
+	for _, pages := range h.prefetches {
+		for _, p := range pages {
+			if p >= xLo && p <= xHi {
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("x never prefetched")
+	}
+	if count > 2*int(xHi-xLo+1) {
+		t.Fatalf("x prefetched %d times; gating to the first row failed", count)
+	}
+	// But x is RELEASED on every row (the paper's aggressive-release
+	// pathology): about 4 pages * 64 rows.
+	relX := 0
+	for _, pages := range h.releases {
+		for _, p := range pages {
+			if p >= xLo && p <= xHi {
+				relX++
+			}
+		}
+	}
+	if relX < 100 {
+		t.Fatalf("x released only %d times; expected one release stream per row", relX)
+	}
+}
+
+func TestReleasePriorities(t *testing.T) {
+	c := compileMatvec(t)
+	img, _ := c.Bind(nil)
+	_ = img
+	// Find priorities by running a tiny variant instead: inspect the
+	// statistics gathered at compile time via the listing.
+	lst := c.Listing()
+	if !strings.Contains(lst, "prio=0") {
+		t.Error("no zero-priority release in listing")
+	}
+	if !strings.Contains(lst, "prio=1") {
+		t.Error("no priority-1 release (vector with outer-loop reuse)")
+	}
+	if !strings.Contains(lst, "prio=2") {
+		t.Error("no priority-2 release (y with inner-loop reuse)")
+	}
+}
+
+func TestIndirectNeverReleased(t *testing.T) {
+	prog := lang.MustParse(`
+program buk
+param N
+known N = 65536
+array key[N] of int64
+array rank[N] of int64
+for i = 0 to N-1 {
+    rank[key[i]] = rank[key[i]] + 1 @ 10
+}
+`)
+	prog.SetData("key", func(i int64) int64 { return int64(sim.Hash64(uint64(i)) % 65536) })
+	c := MustCompile(prog, testTarget())
+	if c.Stats.IndirectRefs != 2 { // read and write of rank[key[i]]
+		t.Errorf("indirect refs = %d, want 2", c.Stats.IndirectRefs)
+	}
+	img, err := c.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	rank := prog.FindArray("rank")
+	rLo, rHi := img.PageRange(rank)
+	for _, pages := range h.releases {
+		for _, p := range pages {
+			if p >= rLo && p <= rHi {
+				t.Fatalf("randomly-accessed array released (page %d)", p)
+			}
+		}
+	}
+	// But rank pages ARE prefetched (indirect prefetching).
+	pf := h.allPrefetched()
+	got := 0
+	for p := rLo; p <= rHi; p++ {
+		if pf[p] {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("indirect target never prefetched")
+	}
+	// And key, the sequential index array, is released.
+	key := prog.FindArray("key")
+	kLo, kHi := img.PageRange(key)
+	rel := h.allReleased()
+	gotK := 0
+	for p := kLo; p <= kHi; p++ {
+		if rel[p] {
+			gotK++
+		}
+	}
+	if gotK == 0 {
+		t.Fatal("sequential index array never released")
+	}
+}
+
+func TestSymbolicStrideMisdetection(t *testing.T) {
+	prog := lang.MustParse(`
+program fftlike
+param N, S
+known N = 1048576
+array a[N] of float64
+for k = 0 to N/2-1 {
+    a[S*k] = a[S*k] + 1 @ 15
+}
+`)
+	c := MustCompile(prog, testTarget())
+	if c.Stats.MisdetectedReuse == 0 {
+		t.Fatal("symbolic stride did not trigger reuse misdetection")
+	}
+	if c.Stats.ReusePrioReleases == 0 {
+		t.Fatal("misdetected reuse should yield a non-zero release priority")
+	}
+	// Execution still sweeps: bind S=2 and check the release stream
+	// advances through pages even though the compiler thought the ref
+	// was invariant.
+	img, err := c.Bind(map[string]int64{"S": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.allReleased()) < 100 {
+		t.Fatalf("symbolic-stride ref released %d pages; expected a sweep", len(h.allReleased()))
+	}
+	for tag, prio := range h.relPrio {
+		if prio == 0 {
+			t.Errorf("tag %d released with priority 0; misdetection should give reuse priority", tag)
+		}
+	}
+}
+
+func TestAdaptiveFixesSymbolicStrideMisdetection(t *testing.T) {
+	src := `
+program fftlike
+param N, S
+known N = 1048576
+array a[N] of float64
+for k = 0 to N/2-1 {
+    a[S*k] = a[S*k] + 1 @ 15
+}
+`
+	tgt := testTarget()
+	tgt.Adaptive = true
+	c := MustCompile(lang.MustParse(src), tgt)
+	if c.Stats.MisdetectedReuse != 0 {
+		t.Fatalf("adaptive codegen still misdetects reuse: %+v", c.Stats)
+	}
+	if c.Stats.ZeroPrioReleases != 1 || c.Stats.ReusePrioReleases != 0 {
+		t.Fatalf("adaptive releases should be priority 0: %+v", c.Stats)
+	}
+	// Execution unchanged.
+	img, err := c.Bind(map[string]int64{"S": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.allReleased()) < 100 {
+		t.Fatal("adaptive version did not release the sweep")
+	}
+}
+
+func TestAdaptiveFixesImpreciseReleases(t *testing.T) {
+	src := `
+program stencil
+param N
+array a[262144] of float64
+proc sweep(n) {
+    for i = 1 to n-1 {
+        a[i] = a[i+1] + a[i-1] @ 20
+    }
+}
+call sweep(N)
+`
+	tgt := testTarget()
+	c := MustCompile(lang.MustParse(src), tgt)
+	if c.Stats.ImpreciseReleases == 0 {
+		t.Fatal("baseline should place imprecise releases under unknown bounds")
+	}
+	tgt.Adaptive = true
+	ca := MustCompile(lang.MustParse(src), tgt)
+	if ca.Stats.ImpreciseReleases != 0 {
+		t.Fatalf("adaptive codegen still imprecise: %+v", ca.Stats)
+	}
+}
+
+func TestUnknownBoundsConservative(t *testing.T) {
+	prog := lang.MustParse(`
+program unknown
+param N
+array a[1048576] of float64
+proc sweep(n) {
+    for i = 0 to n-1 {
+        a[i] = a[i] + 1 @ 15
+    }
+}
+call sweep(N)
+`)
+	c := MustCompile(prog, testTarget())
+	if c.Stats.UnknownBoundLoops == 0 {
+		t.Fatal("formal-bounded loop not counted as unknown")
+	}
+	img, err := c.Bind(map[string]int64{"N": 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.touches) == 0 {
+		t.Fatal("nothing executed")
+	}
+}
+
+func TestProcSingleVersionDifferentBindings(t *testing.T) {
+	prog := lang.MustParse(`
+program multi
+param N
+known N = 8192
+array a[N] of float64
+proc sweep(n) {
+    for i = 0 to n-1 {
+        a[i] = a[i] + 1 @ 15
+    }
+}
+call sweep(N)
+call sweep(N/2)
+`)
+	c := MustCompile(prog, testTarget())
+	img, err := c.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	// Work: 8192 + 4096 iterations at 15ns.
+	want := float64(8192+4096) * 15
+	if h.workNS != want {
+		t.Fatalf("work = %.0f, want %.0f (both calls must run the single compiled body)", h.workNS, want)
+	}
+}
+
+func TestStencilGroupLeaderTrailer(t *testing.T) {
+	// The paper's Figure 3 example: a[i+1][*] is the leading edge
+	// (prefetched), a[i-1][*] the trailing edge (released).
+	prog := lang.MustParse(`
+program stencil
+param N
+known N = 512
+array a[N][N] of float64
+for i = 1 to N-2 {
+    for j = 1 to N-2 {
+        a[i][j] = a[i+1][j] + a[i-1][j] + a[i][j+1] + a[i][j-1] @ 30
+    }
+}
+`)
+	c := MustCompile(prog, testTarget())
+	// All five refs share variable terms (i*N + j ± consts): one group.
+	if c.Stats.Groups != 1 {
+		t.Fatalf("groups = %d, want 1 (group locality)", c.Stats.Groups)
+	}
+	if c.Stats.PrefetchDirs != 1 || c.Stats.ReleaseDirs != 1 {
+		t.Fatalf("dirs = %d/%d, want 1/1", c.Stats.PrefetchDirs, c.Stats.ReleaseDirs)
+	}
+	lst := c.Listing()
+	// Leader is a[i+1][j] -> linear const +N = +512; trailer a[i-1][j]
+	// -> -512... trailer includes j-1 (const -1): min const is -N-?
+	// a[i][j-1] has const -1; a[i-1][j] has const -512. Trailer: -512.
+	if !strings.Contains(lst, "pf(&a[") || !strings.Contains(lst, "rel(&a[") {
+		t.Fatalf("listing missing pf/rel:\n%s", lst)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	c := compileMatvec(t)
+	if _, err := c.Bind(map[string]int64{}); err != nil {
+		t.Fatalf("binding with known params failed: %v", err)
+	}
+	prog := lang.MustParse(`
+program p
+param Q
+array a[Q] of float64
+a[0] = 1
+`)
+	c2, err := Compile(prog, testTarget())
+	if err == nil {
+		// Q unknown: linearization of a 1-D array doesn't need the
+		// dim... binding without Q must fail.
+		if _, err := c2.Bind(nil); err == nil {
+			t.Fatal("bind with unbound param succeeded")
+		}
+	}
+}
+
+func TestIndirectWithoutDataFailsBind(t *testing.T) {
+	prog := lang.MustParse(`
+program p
+array b[1024] of int64
+array a[1024] of float64
+for i = 0 to 1023 {
+    a[b[i]] = 1 @ 5
+}
+`)
+	c := MustCompile(prog, testTarget())
+	if _, err := c.Bind(nil); err == nil {
+		t.Fatal("bind succeeded without a data generator for the index array")
+	}
+}
+
+func TestConservativePolicySkipsExploitableReleases(t *testing.T) {
+	tgt := testTarget()
+	tgt.Aggressive = false
+	c := MustCompile(lang.MustParse(matvecSrc), tgt)
+	// x and y have exploitable reuse: only A's release (priority 0,
+	// no reuse) survives under the conservative §2.3.2 policy.
+	if c.Stats.ReleaseDirs != 1 || c.Stats.ZeroPrioReleases != 1 {
+		t.Fatalf("conservative releases = %d (zero-prio %d), want 1/1",
+			c.Stats.ReleaseDirs, c.Stats.ZeroPrioReleases)
+	}
+}
+
+func TestPrefetchOnlyAndOriginalModes(t *testing.T) {
+	tgt := testTarget()
+	tgt.Release = false
+	p := MustCompile(lang.MustParse(matvecSrc), tgt)
+	if p.Stats.ReleaseDirs != 0 || p.Stats.PrefetchDirs == 0 {
+		t.Fatalf("prefetch-only mode wrong: %+v", p.Stats)
+	}
+	tgt.Prefetch = false
+	o := MustCompile(lang.MustParse(matvecSrc), tgt)
+	if o.Stats.PrefetchDirs != 0 || o.Stats.ReleaseDirs != 0 {
+		t.Fatalf("original mode wrong: %+v", o.Stats)
+	}
+	// The original program still executes.
+	prog := lang.MustParse(strings.ReplaceAll(strings.ReplaceAll(matvecSrc,
+		"known N = 3200", "known N = 16"), "known M = 16384", "known M = 2048"))
+	o2 := MustCompile(prog, tgt)
+	img, _ := o2.Bind(nil)
+	h := newRec()
+	if err := img.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.prefetches) != 0 || len(h.releases) != 0 {
+		t.Fatal("original mode emitted hints")
+	}
+	if len(h.touches) == 0 {
+		t.Fatal("original mode did not execute")
+	}
+}
+
+func TestPrefetchDistanceScalesWithLatency(t *testing.T) {
+	slow := testTarget()
+	slow.FaultLatency = 20 * sim.Millisecond
+	fast := testTarget()
+	fast.FaultLatency = 1 * sim.Millisecond
+	cs := MustCompile(lang.MustParse(matvecSrc), slow)
+	cf := MustCompile(lang.MustParse(matvecSrc), fast)
+	ds := maxPagesAhead(cs.Main)
+	df := maxPagesAhead(cf.Main)
+	if ds <= df {
+		t.Fatalf("prefetch distance did not scale with latency: %d (20ms) vs %d (1ms)", ds, df)
+	}
+}
+
+func maxPagesAhead(list []xstmt) int64 {
+	var m int64
+	for _, s := range list {
+		if xl, ok := s.(*xloop); ok {
+			for _, d := range xl.dirs {
+				if d.kind == dirPf && d.pagesAhead > m {
+					m = d.pagesAhead
+				}
+			}
+			if v := maxPagesAhead(xl.body); v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+func TestStripModeMatchesGeneralMode(t *testing.T) {
+	// A program whose innermost loop is strip-eligible: run it, then
+	// run a logically identical program forced into general mode by an
+	// indirect ref that resolves to the identity, and compare touches.
+	src := `
+program strip
+param N
+known N = 32768
+array a[N] of float64
+for i = 0 to N-1 {
+    a[i] = a[i] + 1 @ 10
+}
+`
+	c := MustCompile(lang.MustParse(src), testTarget())
+	img, _ := c.Bind(nil)
+	h1 := newRec()
+	if err := img.Run(h1); err != nil {
+		t.Fatal(err)
+	}
+
+	srcInd := `
+program gen
+param N
+known N = 32768
+array idx[N] of int64
+array a[N] of float64
+for i = 0 to N-1 {
+    a[idx[i]] = a[idx[i]] + 1 @ 10
+}
+`
+	p2 := lang.MustParse(srcInd)
+	p2.SetData("idx", func(i int64) int64 { return i })
+	c2 := MustCompile(p2, testTarget())
+	img2, err := c2.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := newRec()
+	if err := img2.Run(h2); err != nil {
+		t.Fatal(err)
+	}
+	// a occupies the same page count in both runs; identity
+	// indirection touches the same sequence of a-pages.
+	a1 := c.Prog.FindArray("a")
+	lo1, hi1 := img.PageRange(a1)
+	a2 := p2.FindArray("a")
+	lo2, hi2 := img2.PageRange(a2)
+	if hi1-lo1 != hi2-lo2 {
+		t.Fatalf("page ranges differ: %d vs %d", hi1-lo1, hi2-lo2)
+	}
+	seq1 := pagesIn(h1.touches, lo1, hi1, lo1)
+	seq2 := pagesIn(h2.touches, lo2, hi2, lo2)
+	if len(seq1) != len(seq2) {
+		t.Fatalf("touch counts differ: strip=%d general=%d", len(seq1), len(seq2))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("touch sequence diverges at %d: %d vs %d", i, seq1[i], seq2[i])
+		}
+	}
+	// Work totals agree exactly.
+	if h1.workNS != h2.workNS {
+		t.Fatalf("work differs: %.0f vs %.0f", h1.workNS, h2.workNS)
+	}
+}
+
+func pagesIn(touches []int64, lo, hi, base int64) []int64 {
+	var out []int64
+	for _, p := range touches {
+		if p >= lo && p <= hi {
+			out = append(out, p-base)
+		}
+	}
+	return out
+}
+
+func TestListingContainsDirectives(t *testing.T) {
+	c := compileMatvec(t)
+	lst := c.Listing()
+	for _, want := range []string{"pf(&A[", "rel(&A[", "pf(&x[", "rel(&x[", "if first(i)"} {
+		if !strings.Contains(lst, want) {
+			t.Errorf("listing missing %q:\n%s", want, lst)
+		}
+	}
+}
+
+func TestTable2StatsShape(t *testing.T) {
+	c := compileMatvec(t)
+	img, _ := c.Bind(nil)
+	if img.DataBytes != 3200*16384*8+16384*8+3200*8 {
+		t.Fatalf("data bytes = %d", img.DataBytes)
+	}
+	if img.TotalPages < 25600 {
+		t.Fatalf("total pages = %d, want >= 25600 (400 MB of data)", img.TotalPages)
+	}
+}

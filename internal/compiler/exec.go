@@ -1,0 +1,486 @@
+package compiler
+
+import (
+	"fmt"
+
+	"memhogs/internal/lang"
+)
+
+// Hints is the interface the compiled program runs against — the
+// run-time layer (package rt) implements it on top of the kernel.
+// Pages are virtual page numbers within the owning process's address
+// space.
+type Hints interface {
+	// Touch references a page (taking faults as needed).
+	Touch(page int64, write bool)
+	// Work accounts ns nanoseconds of user computation.
+	Work(ns float64)
+	// Prefetch is a compiler-inserted prefetch call for one or more
+	// pages (more than one only for the software-pipelining prologue).
+	Prefetch(tag int, pages []int64)
+	// Release is a compiler-inserted release call: the page currently
+	// holding the trailing reference, the equation-(2) priority, and
+	// the static request identifier.
+	Release(tag int, prio int, page int64)
+}
+
+// Image is a compiled program bound to parameter values, with arrays
+// laid out page-aligned in a single address space.
+type Image struct {
+	C   *Compiled
+	Env lang.Env
+
+	bases      map[*lang.Array]int64 // byte offsets
+	lens       map[*lang.Array]int64 // element counts
+	TotalPages int
+	DataBytes  int64
+	pageShift  uint
+}
+
+// Bind lays out the program's arrays for the given parameter values
+// and validates that every indirection index array has a data
+// generator attached.
+func (c *Compiled) Bind(params map[string]int64) (*Image, error) {
+	env := lang.Env{}
+	for k, v := range c.Prog.Known {
+		env[k] = v
+	}
+	for k, v := range params {
+		env[k] = v
+	}
+	for _, p := range c.Prog.Params {
+		if _, ok := env[p]; !ok {
+			return nil, fmt.Errorf("compiler: param %s not bound", p)
+		}
+	}
+	shift := uint(0)
+	for 1<<shift != c.Target.PageSize {
+		shift++
+		if shift > 30 {
+			return nil, fmt.Errorf("compiler: page size %d not a power of two", c.Target.PageSize)
+		}
+	}
+	img := &Image{
+		C: c, Env: env,
+		bases:     map[*lang.Array]int64{},
+		lens:      map[*lang.Array]int64{},
+		pageShift: shift,
+	}
+	ps := int64(c.Target.PageSize)
+	var off int64
+	for _, a := range c.Prog.Arrays {
+		elems, err := a.NumElems(env)
+		if err != nil {
+			return nil, err
+		}
+		img.bases[a] = off
+		img.lens[a] = elems
+		bytes := elems * int64(a.ElemSize)
+		img.DataBytes += bytes
+		off += (bytes + ps - 1) / ps * ps
+	}
+	img.TotalPages = int(off / ps)
+	if img.TotalPages == 0 {
+		img.TotalPages = 1
+	}
+	// Every indirection array must be able to produce values.
+	if err := c.checkIndirectData(c.Main); err != nil {
+		return nil, err
+	}
+	for _, body := range c.procs {
+		if err := c.checkIndirectData(body); err != nil {
+			return nil, err
+		}
+	}
+	return img, nil
+}
+
+func (c *Compiled) checkIndirectData(body []xstmt) error {
+	for _, s := range body {
+		switch x := s.(type) {
+		case *xloop:
+			for _, d := range x.dirs {
+				if d.ind != nil && d.ind.idxArr.Data == nil {
+					return fmt.Errorf("compiler: index array %s has no data generator", d.ind.idxArr.Name)
+				}
+			}
+			if err := c.checkIndirectData(x.body); err != nil {
+				return err
+			}
+		case *xassign:
+			for _, site := range x.sites {
+				if site.ind != nil && site.ind.idxArr.Data == nil {
+					return fmt.Errorf("compiler: index array %s has no data generator", site.ind.idxArr.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PageRange returns the [first, last] virtual pages of an array.
+func (img *Image) PageRange(a *lang.Array) (int64, int64) {
+	base := img.bases[a]
+	end := base + img.lens[a]*int64(a.ElemSize) - 1
+	return base >> img.pageShift, end >> img.pageShift
+}
+
+func (img *Image) byteOf(a *lang.Array, elem int64) int64 {
+	return img.bases[a] + elem*int64(a.ElemSize)
+}
+
+// Run executes the bound program against the run-time layer.
+func (img *Image) Run(h Hints) error {
+	r := &runner{
+		img:      img,
+		h:        h,
+		env:      img.Env.Clone(),
+		isFirst:  map[string]bool{},
+		dirLast:  make([]int64, img.C.numDirs),
+		siteLast: make([]int64, img.C.numSites),
+	}
+	for i := range r.dirLast {
+		r.dirLast[i] = -1
+	}
+	for i := range r.siteLast {
+		r.siteLast[i] = -1
+	}
+	return r.stmts(img.C.Main)
+}
+
+// runner is the per-run interpreter state.
+type runner struct {
+	img      *Image
+	h        Hints
+	env      lang.Env
+	isFirst  map[string]bool
+	dirLast  []int64
+	siteLast []int64
+	scratch  []int64
+}
+
+func (r *runner) stmts(list []xstmt) error {
+	for _, s := range list {
+		var err error
+		switch x := s.(type) {
+		case *xloop:
+			err = r.loop(x)
+		case *xassign:
+			err = r.assign(x)
+		case *xcall:
+			err = r.call(x)
+		default:
+			err = fmt.Errorf("compiler: unknown executable node %T", s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) call(c *xcall) error {
+	type saved struct {
+		name string
+		val  int64
+		had  bool
+	}
+	olds := make([]saved, len(c.proc.Formals))
+	for i, f := range c.proc.Formals {
+		v, err := c.args[i].Eval(r.env)
+		if err != nil {
+			return fmt.Errorf("call %s: %w", c.proc.Name, err)
+		}
+		old, had := r.env[f]
+		olds[i] = saved{name: f, val: old, had: had}
+		r.env[f] = v
+	}
+	err := r.stmts(c.body)
+	for _, o := range olds {
+		if o.had {
+			r.env[o.name] = o.val
+		} else {
+			delete(r.env, o.name)
+		}
+	}
+	return err
+}
+
+func (r *runner) loop(l *xloop) error {
+	lo, err := l.lo.Eval(r.env)
+	if err != nil {
+		return err
+	}
+	hi, err := l.hi.Eval(r.env)
+	if err != nil {
+		return err
+	}
+	if lo > hi {
+		return nil
+	}
+	savedVal, had := r.env[l.v]
+	savedFirst := r.isFirst[l.v]
+	defer func() {
+		if had {
+			r.env[l.v] = savedVal
+		} else {
+			delete(r.env, l.v)
+		}
+		r.isFirst[l.v] = savedFirst
+	}()
+
+	if l.strip != nil {
+		return r.stripLoop(l, lo, hi)
+	}
+	first := true
+	for v := lo; v <= hi; v += l.step {
+		r.env[l.v] = v
+		r.isFirst[l.v] = first
+		for _, d := range l.dirs {
+			if err := r.fire(d); err != nil {
+				return err
+			}
+		}
+		if err := r.stmts(l.body); err != nil {
+			return err
+		}
+		first = false
+	}
+	return nil
+}
+
+// indirectElem resolves an a[b[i]] target element, with a shift on the
+// attached loop variable for look-ahead.
+func (r *runner) indirectElem(arr *lang.Array, ind *indirectSpec, loopVar string, shift int64) (int64, bool) {
+	if shift != 0 {
+		old := r.env[loopVar]
+		r.env[loopVar] = old + shift
+		defer func() { r.env[loopVar] = old }()
+	}
+	idx, err := ind.idxLin.Eval(r.env)
+	if err != nil {
+		return 0, false
+	}
+	n := r.img.lens[ind.idxArr]
+	if n == 0 {
+		return 0, false
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	if idx >= n {
+		idx = n - 1 // clamped look-ahead past the end
+	}
+	v := ind.idxArr.Data(idx)
+	m := r.img.lens[arr]
+	if m == 0 {
+		return 0, false
+	}
+	v %= m
+	if v < 0 {
+		v += m
+	}
+	return v, true
+}
+
+// fire evaluates one directive at the current iteration and issues its
+// hint when the observed page changed.
+func (r *runner) fire(d *xdir) error {
+	var page int64
+	if d.ind != nil {
+		elem, ok := r.indirectElem(d.arr, d.ind, d.loopVar, d.itersAhead)
+		if !ok {
+			return nil
+		}
+		page = r.img.byteOf(d.arr, elem) >> r.img.pageShift
+	} else {
+		elem, err := d.lin.Eval(r.env)
+		if err != nil {
+			return err
+		}
+		page = r.img.byteOf(d.arr, elem) >> r.img.pageShift
+	}
+	if page == r.dirLast[d.id] {
+		return nil
+	}
+	firstObs := r.dirLast[d.id] < 0
+	r.dirLast[d.id] = page
+	r.issue(d, page, firstObs)
+	return nil
+}
+
+// issue performs the hint call for a directive observation.
+func (r *runner) issue(d *xdir, page int64, firstObs bool) {
+	if d.kind == dirRel {
+		r.h.Release(d.tag, d.prio, page)
+		return
+	}
+	for _, g := range d.gates {
+		if !r.isFirst[g] {
+			return
+		}
+	}
+	if d.ind != nil {
+		r.scratch = append(r.scratch[:0], page)
+		r.h.Prefetch(d.tag, r.scratch)
+		return
+	}
+	lo, hi := r.img.PageRange(d.arr)
+	var from, to int64
+	if firstObs {
+		from, to = page, page+d.pagesAhead
+	} else {
+		from, to = page+d.pagesAhead, page+d.pagesAhead
+	}
+	if from < lo {
+		from = lo
+	}
+	if to > hi {
+		to = hi
+	}
+	if from > to {
+		return
+	}
+	r.scratch = r.scratch[:0]
+	for p := from; p <= to; p++ {
+		r.scratch = append(r.scratch, p)
+	}
+	r.h.Prefetch(d.tag, r.scratch)
+}
+
+func (r *runner) assign(a *xassign) error {
+	for _, s := range a.sites {
+		var elem int64
+		if s.ind != nil {
+			e, ok := r.indirectElem(s.arr, s.ind, "", 0)
+			if !ok {
+				continue
+			}
+			elem = e
+		} else {
+			e, err := s.lin.Eval(r.env)
+			if err != nil {
+				return err
+			}
+			elem = e
+		}
+		page := r.img.byteOf(s.arr, elem) >> r.img.pageShift
+		if page != r.siteLast[s.id] {
+			r.siteLast[s.id] = page
+			r.h.Touch(page, s.write)
+		}
+	}
+	r.h.Work(a.cost)
+	return nil
+}
+
+// tracked is one linear address stream followed by the strip-mode
+// executor: a body access site or a directive.
+type tracked struct {
+	pos   int64 // byte position
+	delta int64 // bytes per iteration
+	last  int64 // last observed page
+	site  *accessSite
+	dir   *xdir
+}
+
+// coefVal evaluates the (possibly symbolic) coefficient of v in lin.
+func (r *runner) coefVal(lin *lang.Affine, v string) int64 {
+	for _, t := range lin.Terms {
+		if t.Var == v {
+			c := t.Coef
+			if t.CoefParam != "" {
+				c *= r.env[t.CoefParam]
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// stripLoop executes an innermost all-affine loop by jumping from page
+// crossing to page crossing: the observable effects (touches, hints,
+// accumulated work) are identical to element-by-element execution at
+// page granularity.
+func (r *runner) stripLoop(l *xloop, lo, hi int64) error {
+	r.env[l.v] = lo
+	r.isFirst[l.v] = true
+	tr := make([]tracked, 0, len(l.strip.sites)+len(l.dirs))
+	for _, s := range l.strip.sites {
+		base, err := s.lin.Eval(r.env)
+		if err != nil {
+			return err
+		}
+		tr = append(tr, tracked{
+			pos:   r.img.byteOf(s.arr, base),
+			delta: r.coefVal(s.lin, l.v) * l.step * int64(s.elem),
+			last:  -1,
+			site:  s,
+		})
+	}
+	for _, d := range l.dirs {
+		base, err := d.lin.Eval(r.env)
+		if err != nil {
+			return err
+		}
+		// Directive state persists across loop entries (the compiler
+		// hoists the pipelining state out of the loop), so track it in
+		// the run-wide slot, not per entry.
+		tr = append(tr, tracked{
+			pos:   r.img.byteOf(d.arr, base),
+			delta: r.coefVal(d.lin, l.v) * l.step * int64(d.elem),
+			last:  r.dirLast[d.id],
+			dir:   d,
+		})
+	}
+	ps := int64(r.img.C.Target.PageSize)
+	shift := r.img.pageShift
+	iters := (hi-lo)/l.step + 1
+	var it int64
+	for it < iters {
+		for i := range tr {
+			t := &tr[i]
+			page := t.pos >> shift
+			if page == t.last {
+				continue
+			}
+			firstObs := t.last < 0
+			t.last = page
+			if t.site != nil {
+				r.h.Touch(page, t.site.write)
+			} else {
+				r.dirLast[t.dir.id] = page
+				r.issue(t.dir, page, firstObs)
+			}
+		}
+		steps := iters - it
+		for i := range tr {
+			t := &tr[i]
+			if t.delta == 0 {
+				continue
+			}
+			var s int64
+			off := t.pos & (ps - 1)
+			if t.delta > 0 {
+				s = (ps - off + t.delta - 1) / t.delta
+			} else {
+				s = (off - t.delta) / -t.delta
+			}
+			if s < 1 {
+				s = 1
+			}
+			if s < steps {
+				steps = s
+			}
+		}
+		r.h.Work(l.strip.cost * float64(steps))
+		for i := range tr {
+			tr[i].pos += tr[i].delta * steps
+		}
+		it += steps
+		// After the first advance the loop is no longer at its first
+		// iteration (gating for peeled prefetches).
+		r.isFirst[l.v] = false
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package compiler
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memhogs/internal/workload"
+)
+
+// TestGoldenListings locks the analysis output for the six built-in
+// benchmarks: any change to reuse analysis, locality analysis,
+// scheduling, priorities or placement shows up as a diff against
+// testdata/*.golden. Regenerate intentionally with
+// `go run ./cmd/gen-golden`.
+func TestGoldenListings(t *testing.T) {
+	tgt := DefaultTarget(16<<10, 4800)
+	for _, spec := range workload.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			c := MustCompile(spec.Program(nil), tgt)
+			got := c.Listing()
+			path := filepath.Join("testdata", spec.Name+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go run ./cmd/gen-golden`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("listing changed; if intentional run `go run ./cmd/gen-golden`\n--- got\n%s\n--- want\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterminism compiles each benchmark twice and demands
+// byte-identical listings (tag assignment, group ordering and
+// directive placement must all be deterministic).
+func TestGoldenDeterminism(t *testing.T) {
+	tgt := DefaultTarget(16<<10, 4800)
+	for _, spec := range workload.All() {
+		a := MustCompile(spec.Program(nil), tgt).Listing()
+		b := MustCompile(spec.Program(nil), tgt).Listing()
+		if a != b {
+			t.Fatalf("%s: listing not deterministic", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/lang"
+)
+
+// Listing renders the transformed program: the original loops with the
+// compiler-inserted prefetch and release calls shown as pseudo-code,
+// in the style of the paper's Figure 5 —
+// pf(addr, pages_ahead, tag) and rel(addr, priority, tag).
+func (c *Compiled) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s — transformed by the prefetch/release compiler\n", c.Prog.Name)
+	fmt.Fprintf(&b, "// target: %d pages of %d bytes, fault latency %v\n",
+		c.Target.MemoryPages, c.Target.PageSize, c.Target.FaultLatency)
+	for _, pr := range c.Prog.Procs {
+		fmt.Fprintf(&b, "proc %s(%s) {\n", pr.Name, strings.Join(pr.Formals, ", "))
+		listStmts(&b, c.procs[pr], 1)
+		b.WriteString("}\n")
+	}
+	listStmts(&b, c.Main, 0)
+	return b.String()
+}
+
+func listStmts(b *strings.Builder, list []xstmt, indent int) {
+	pad := strings.Repeat("    ", indent)
+	for _, s := range list {
+		switch x := s.(type) {
+		case *xloop:
+			fmt.Fprintf(b, "%sfor %s = %s to %s", pad, x.v, x.lo, x.hi)
+			if x.step != 1 {
+				fmt.Fprintf(b, " step %d", x.step)
+			}
+			b.WriteString(" {\n")
+			for _, d := range x.dirs {
+				listDir(b, d, indent+1)
+			}
+			listStmts(b, x.body, indent+1)
+			fmt.Fprintf(b, "%s}\n", pad)
+		case *xassign:
+			fmt.Fprintf(b, "%scompute(%.0fns", pad, x.cost)
+			for _, site := range x.sites {
+				b.WriteString(", ")
+				b.WriteString(siteString(site))
+			}
+			b.WriteString(")\n")
+		case *xcall:
+			fmt.Fprintf(b, "%scall %s(", pad, x.proc.Name)
+			for i, a := range x.args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(a.String())
+			}
+			b.WriteString(")\n")
+		}
+	}
+}
+
+func listDir(b *strings.Builder, d *xdir, indent int) {
+	pad := strings.Repeat("    ", indent)
+	addr := dirAddr(d)
+	switch d.kind {
+	case dirPf:
+		gate := ""
+		if len(d.gates) > 0 {
+			gate = fmt.Sprintf(" if first(%s)", strings.Join(d.gates, ","))
+		}
+		if d.ind != nil {
+			fmt.Fprintf(b, "%spf(%s, +%d iters, tag=%d)%s\n", pad, addr, d.itersAhead, d.tag, gate)
+		} else {
+			fmt.Fprintf(b, "%spf(%s, +%d pages, tag=%d)%s\n", pad, addr, d.pagesAhead, d.tag, gate)
+		}
+	case dirRel:
+		fmt.Fprintf(b, "%srel(%s, prio=%d, tag=%d)\n", pad, addr, d.prio, d.tag)
+	}
+}
+
+func dirAddr(d *xdir) string {
+	if d.ind != nil {
+		return fmt.Sprintf("&%s[%s[%s]]", d.arr.Name, d.ind.idxArr.Name, lang.FormatAffine(d.ind.idxLin))
+	}
+	return fmt.Sprintf("&%s[%s]", d.arr.Name, lang.FormatAffine(d.lin))
+}
+
+func siteString(s *accessSite) string {
+	mode := "r"
+	if s.write {
+		mode = "w"
+	}
+	if s.ind != nil {
+		return fmt.Sprintf("%s[%s[%s]]:%s", s.arr.Name, s.ind.idxArr.Name, lang.FormatAffine(s.ind.idxLin), mode)
+	}
+	return fmt.Sprintf("%s[%s]:%s", s.arr.Name, lang.FormatAffine(s.lin), mode)
+}

@@ -1,0 +1,247 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"memhogs/internal/lang"
+	"memhogs/internal/sim"
+)
+
+// clearStrip forces general (per-iteration) execution by removing the
+// strip plans from an executable tree.
+func clearStrip(list []xstmt) {
+	for _, s := range list {
+		if xl, ok := s.(*xloop); ok {
+			xl.strip = nil
+			clearStrip(xl.body)
+		}
+	}
+}
+
+func clearAllStrip(c *Compiled) {
+	clearStrip(c.Main)
+	for _, body := range c.procs {
+		clearStrip(body)
+	}
+}
+
+// setHints collects page sets per hint kind.
+type setHints struct {
+	touched  map[int64]bool
+	prefetch map[int64]bool
+	released map[int64]bool
+	work     float64
+}
+
+func newSetHints() *setHints {
+	return &setHints{touched: map[int64]bool{}, prefetch: map[int64]bool{}, released: map[int64]bool{}}
+}
+
+func (h *setHints) Touch(page int64, write bool) { h.touched[page] = true }
+func (h *setHints) Work(ns float64)              { h.work += ns }
+func (h *setHints) Prefetch(tag int, pages []int64) {
+	for _, p := range pages {
+		h.prefetch[p] = true
+	}
+}
+func (h *setHints) Release(tag, prio int, page int64) { h.released[page] = true }
+
+// randomProgram builds a random affine loop-nest program. The
+// generator keeps subscripts in bounds by sizing arrays from the
+// maximum possible subscript value.
+func randomProgram(r *sim.Rand, id int) *lang.Program {
+	depth := 1 + r.Intn(2)           // 1..2 loops
+	trips := int64(64 + r.Intn(512)) // per loop
+	narr := 1 + r.Intn(2)
+
+	src := fmt.Sprintf("program rand%d\n", id)
+	// Max subscript: sum over loops of coef*trips + const.
+	maxIdx := int64(0)
+	type term struct {
+		coef int64
+		v    string
+	}
+	vars := []string{"i", "j"}[:depth]
+	// One ref per array with random coefficients.
+	refs := make([][]term, narr)
+	consts := make([]int64, narr)
+	for a := 0; a < narr; a++ {
+		var ts []term
+		for _, v := range vars {
+			c := int64(r.Intn(4)) // 0..3
+			if c > 0 {
+				ts = append(ts, term{coef: c, v: v})
+			}
+		}
+		if len(ts) == 0 {
+			ts = append(ts, term{coef: 1, v: vars[len(vars)-1]})
+		}
+		refs[a] = ts
+		consts[a] = int64(r.Intn(8))
+		idx := consts[a]
+		for _, t := range ts {
+			idx += t.coef * (trips - 1)
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	for a := 0; a < narr; a++ {
+		src += fmt.Sprintf("array a%d[%d] of float64\n", a, maxIdx+8)
+	}
+	for d, v := range vars {
+		src += fmt.Sprintf("%sfor %s = 0 to %d {\n", indentN(d), v, trips-1)
+	}
+	// Body: one assignment touching every array.
+	expr := ""
+	for a := 0; a < narr; a++ {
+		sub := fmt.Sprintf("%d", consts[a])
+		for _, t := range refs[a] {
+			sub = fmt.Sprintf("%d*%s+%s", t.coef, t.v, sub)
+		}
+		if a == 0 {
+			expr = fmt.Sprintf("a0[%s] = a0[%s]", sub, sub)
+		} else {
+			expr += fmt.Sprintf(" + a%d[%s]", a, sub)
+		}
+	}
+	src += indentN(depth) + expr + " @ 25\n"
+	for d := depth - 1; d >= 0; d-- {
+		src += indentN(d) + "}\n"
+	}
+	return lang.MustParse(src)
+}
+
+func indentN(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "    "
+	}
+	return s
+}
+
+// TestStripEquivalenceRandom property-checks that strip-mode execution
+// observes the same pages, emits the same hint page sets, and accounts
+// the same work as plain per-iteration execution, across random affine
+// programs.
+func TestStripEquivalenceRandom(t *testing.T) {
+	r := sim.NewRand(20260706)
+	for trial := 0; trial < 40; trial++ {
+		prog := randomProgram(r, trial)
+		tgt := testTarget()
+
+		cs := MustCompile(prog, tgt)
+		imgS, err := cs.Bind(nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hs := newSetHints()
+		if err := imgS.Run(hs); err != nil {
+			t.Fatalf("trial %d strip: %v", trial, err)
+		}
+
+		cg := MustCompile(prog, tgt)
+		clearAllStrip(cg)
+		imgG, err := cg.Bind(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg := newSetHints()
+		if err := imgG.Run(hg); err != nil {
+			t.Fatalf("trial %d general: %v", trial, err)
+		}
+
+		if len(hs.touched) != len(hg.touched) {
+			t.Fatalf("trial %d: touched sets differ: strip=%d general=%d\n%s",
+				trial, len(hs.touched), len(hg.touched), lang.Format(prog))
+		}
+		for p := range hs.touched {
+			if !hg.touched[p] {
+				t.Fatalf("trial %d: page %d touched only in strip mode", trial, p)
+			}
+		}
+		if len(hs.prefetch) != len(hg.prefetch) || len(hs.released) != len(hg.released) {
+			t.Fatalf("trial %d: hint sets differ: pf %d/%d rel %d/%d\n%s",
+				trial, len(hs.prefetch), len(hg.prefetch),
+				len(hs.released), len(hg.released), lang.Format(prog))
+		}
+		if hs.work != hg.work {
+			t.Fatalf("trial %d: work differs: %v vs %v", trial, hs.work, hg.work)
+		}
+	}
+}
+
+// TestStripEquivalenceNegativeCoef checks descending address streams
+// (negative coefficients) across the two executors.
+func TestStripEquivalenceNegativeCoef(t *testing.T) {
+	prog := lang.MustParse(`
+program revsweep
+param N
+known N = 8192
+array a[8200] of float64
+for i = 0 to N-1 {
+    a[8192-i] = a[8192-i] + 1 @ 10
+}
+`)
+	tgt := testTarget()
+	cs := MustCompile(prog, tgt)
+	imgS, err := cs.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newSetHints()
+	if err := imgS.Run(hs); err != nil {
+		t.Fatal(err)
+	}
+	cg := MustCompile(prog, tgt)
+	clearAllStrip(cg)
+	imgG, _ := cg.Bind(nil)
+	hg := newSetHints()
+	if err := imgG.Run(hg); err != nil {
+		t.Fatal(err)
+	}
+	if len(hs.touched) != len(hg.touched) || hs.work != hg.work {
+		t.Fatalf("descending sweep differs: touched %d/%d work %v/%v",
+			len(hs.touched), len(hg.touched), hs.work, hg.work)
+	}
+	// The sweep covers the whole array: 8200*8/16384 pages.
+	if len(hs.touched) != 5 {
+		t.Fatalf("touched %d pages, want 5", len(hs.touched))
+	}
+}
+
+// TestStripSymbolicStrideEquivalence checks runtime-bound strides.
+func TestStripSymbolicStrideEquivalence(t *testing.T) {
+	prog := lang.MustParse(`
+program symstride
+param S
+array a[65536] of float64
+for k = 0 to 8191 {
+    a[S*k] = a[S*k] + 1 @ 10
+}
+`)
+	for _, stride := range []int64{1, 3, 8} {
+		tgt := testTarget()
+		cs := MustCompile(prog, tgt)
+		imgS, err := cs.Bind(map[string]int64{"S": stride})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := newSetHints()
+		if err := imgS.Run(hs); err != nil {
+			t.Fatal(err)
+		}
+		cg := MustCompile(prog, tgt)
+		clearAllStrip(cg)
+		imgG, _ := cg.Bind(map[string]int64{"S": stride})
+		hg := newSetHints()
+		if err := imgG.Run(hg); err != nil {
+			t.Fatal(err)
+		}
+		if len(hs.touched) != len(hg.touched) || hs.work != hg.work {
+			t.Fatalf("stride %d: touched %d/%d work %v/%v",
+				stride, len(hs.touched), len(hg.touched), hs.work, hg.work)
+		}
+	}
+}

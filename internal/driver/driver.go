@@ -1,0 +1,252 @@
+// Package driver assembles full experiment runs: it boots the
+// simulated machine, compiles a benchmark for one of the paper's four
+// program versions (O, P, R, B), wires up the PagingDirected PM and
+// the run-time layer, optionally starts the interactive task, runs the
+// simulation, and collects every statistic the paper's tables and
+// figures need.
+package driver
+
+import (
+	"fmt"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/disk"
+	"memhogs/internal/kernel"
+	"memhogs/internal/mem"
+	"memhogs/internal/pageout"
+	"memhogs/internal/pdpm"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/vm"
+	"memhogs/internal/workload"
+)
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Kernel kernel.Config
+	Mode   rt.Mode
+	RT     rt.Config
+
+	// Params override the spec's full-size bindings (nil = full size).
+	Params map[string]int64
+
+	// Repeat loops the out-of-core program until the horizon instead
+	// of running it once (the paper's interactive experiments run the
+	// out-of-core program "repeatedly").
+	Repeat  bool
+	Horizon sim.Time
+
+	// InteractiveSleep enables the concurrent interactive task with
+	// the given think time; negative disables it.
+	InteractiveSleep sim.Time
+
+	// TargetTweak, if non-nil, adjusts the compiler target (for
+	// ablations).
+	TargetTweak func(*compiler.Target)
+
+	// OnSystem, if non-nil, is invoked with the booted system before
+	// any process starts (trace recorders, extra instrumentation).
+	OnSystem func(*kernel.System)
+}
+
+// DefaultRunConfig returns a full-platform configuration for one
+// program version with no interactive task.
+func DefaultRunConfig(mode rt.Mode) RunConfig {
+	return RunConfig{
+		Kernel:           kernel.DefaultConfig(),
+		Mode:             mode,
+		RT:               rt.DefaultConfig(mode),
+		Horizon:          30 * 60 * sim.Second,
+		InteractiveSleep: -1,
+	}
+}
+
+// TestRunConfig returns a scaled-down configuration for unit tests and
+// Go benchmarks.
+func TestRunConfig(mode rt.Mode) RunConfig {
+	c := DefaultRunConfig(mode)
+	c.Kernel = kernel.TestConfig()
+	return c
+}
+
+// InteractiveStats reports the interactive task's experience.
+type InteractiveStats struct {
+	Enabled      bool
+	Sweeps       int
+	MeanResponse sim.Time
+	MaxResponse  sim.Time
+	MeanPageIns  float64 // pages read from disk per sweep (Fig 10c)
+	TotalPageIns int64
+	StolenPages  int64
+}
+
+// Result is everything one run produced.
+type Result struct {
+	Bench   string
+	Mode    rt.Mode
+	Elapsed sim.Time
+	Done    bool // out-of-core program ran to completion (non-Repeat)
+	Runs    int  // completed program iterations (Repeat mode)
+
+	Times       [vm.NumBuckets]sim.Time // main-thread breakdown (Fig 7)
+	WorkerTimes [vm.NumBuckets]sim.Time
+
+	VM       vm.Stats
+	Disk     disk.Stats
+	PM       pdpm.Stats
+	RT       rt.Stats
+	Daemon   pageout.DaemonStats
+	Releaser pageout.ReleaserStats
+	Phys     mem.Stats
+
+	CompileStats compiler.Stats
+	DataBytes    int64
+	TotalPages   int
+
+	// Memory-lock contention on the out-of-core process's address
+	// space (the paper's daemon-vs-fault-handler interference).
+	MemlockAcquisitions int64
+	MemlockContended    int64
+	MemlockWait         sim.Time
+	MemlockHold         sim.Time
+
+	Interactive InteractiveStats
+}
+
+// StallResources returns the paper's "stall for unavailable resources"
+// bucket: memory + locks + CPU.
+func (r *Result) StallResources() sim.Time {
+	return r.Times[vm.BucketStallMem] + r.Times[vm.BucketStallLock] + r.Times[vm.BucketStallCPU]
+}
+
+// TotalTime returns the sum of the main thread's buckets.
+func (r *Result) TotalTime() sim.Time {
+	var t sim.Time
+	for _, d := range r.Times {
+		t += d
+	}
+	return t
+}
+
+// Run executes one experiment.
+func Run(spec *workload.Spec, cfg RunConfig) (*Result, error) {
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Params
+	if params == nil {
+		params = spec.Params
+	}
+	prog := spec.Program(params)
+
+	tgt := compiler.DefaultTarget(cfg.Kernel.PageSize, cfg.Kernel.UserMemPages)
+	tgt.Prefetch = cfg.Mode.UsesPrefetch()
+	tgt.Release = cfg.Mode.UsesRelease()
+	if cfg.TargetTweak != nil {
+		cfg.TargetTweak(&tgt)
+	}
+	comp, err := compiler.Compile(prog, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", spec.Name, err)
+	}
+	cfg.Params = params
+	return RunCompiled(spec.Name, comp, cfg)
+}
+
+// RunCompiled executes an already-compiled program (the public API's
+// custom-program path). The compiled target's Prefetch/Release flags
+// must match cfg.Mode.
+func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, error) {
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	img, err := comp.Bind(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("bind %s: %w", name, err)
+	}
+
+	sys := kernel.NewSystem(cfg.Kernel)
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
+	proc := sys.NewProcess(name, img.TotalPages)
+	var pm *pdpm.PM
+	if cfg.Mode.UsesPrefetch() {
+		pm = proc.AttachPM(0)
+	}
+	layer := rt.New(proc, pm, cfg.RT)
+
+	var inter *Interactive
+	if cfg.InteractiveSleep >= 0 {
+		inter = StartInteractive(sys, cfg.InteractiveSleep)
+	}
+
+	res := &Result{Bench: name, Mode: cfg.Mode}
+	runErrCh := make(chan error, 1)
+	proc.Start(!cfg.Repeat, func(th *kernel.Thread) {
+		layer.Bind(th)
+		for {
+			if err := img.Run(layer); err != nil {
+				runErrCh <- err
+				return
+			}
+			res.Runs++
+			if !cfg.Repeat || (cfg.Horizon > 0 && th.Now() >= cfg.Horizon) {
+				return
+			}
+		}
+	})
+
+	sys.Run(cfg.Horizon)
+	select {
+	case err := <-runErrCh:
+		return nil, fmt.Errorf("run %s: %w", name, err)
+	default:
+	}
+
+	res.Elapsed = proc.Elapsed()
+	res.Done = proc.Done
+	res.Times = proc.Times
+	res.WorkerTimes = proc.WorkerTimes
+	res.VM = proc.AS.Stats
+	if pm != nil {
+		res.PM = pm.Stats
+	}
+	res.RT = layer.Stats
+	res.Disk = sys.Disks.Stats()
+	res.Daemon = sys.Daemon.Stats
+	res.Releaser = sys.Releaser.Stats
+	res.Phys = sys.Phys.Stats()
+	res.CompileStats = comp.Stats
+	res.DataBytes = img.DataBytes
+	res.TotalPages = img.TotalPages
+	res.MemlockAcquisitions = proc.AS.Memlock.Acquisitions
+	res.MemlockContended = proc.AS.Memlock.Contended
+	res.MemlockWait = proc.AS.Memlock.WaitTime
+	res.MemlockHold = proc.AS.Memlock.HoldTime
+	if inter != nil {
+		res.Interactive = inter.Stats()
+	}
+	// Every run doubles as a whole-system consistency check.
+	if err := sys.Audit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunAllVersions runs the four program versions of one benchmark with
+// identical settings, mirroring the paper's O/P/R/B bars.
+func RunAllVersions(spec *workload.Spec, base RunConfig) (map[rt.Mode]*Result, error) {
+	out := map[rt.Mode]*Result{}
+	for _, mode := range []rt.Mode{rt.ModeOriginal, rt.ModePrefetch, rt.ModeAggressive, rt.ModeBuffered} {
+		cfg := base
+		cfg.Mode = mode
+		cfg.RT = rt.DefaultConfig(mode)
+		r, err := Run(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[mode] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package driver
+
+import (
+	"fmt"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/kernel"
+	"memhogs/internal/pdpm"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/vm"
+	"memhogs/internal/workload"
+)
+
+// PairResult reports one process of a two-hog run.
+type PairResult struct {
+	Bench   string
+	Mode    rt.Mode
+	Elapsed sim.Time
+	Done    bool
+	Times   [vm.NumBuckets]sim.Time
+	VM      vm.Stats
+	Stolen  int64 // pages the daemon took from this process
+}
+
+// RunPair runs two out-of-core benchmarks concurrently on one machine,
+// both in the same program version — the multiprogramming scenario the
+// paper's introduction motivates but its evaluation (one hog plus the
+// interactive task) does not measure. It answers: does releasing still
+// help when the "other application" is another memory hog?
+func RunPair(nameA, nameB string, mode rt.Mode, kcfg kernel.Config, scaled bool, horizon sim.Time) (*PairResult, *PairResult, error) {
+	lookup := workload.ByName
+	if scaled {
+		lookup = workload.ScaledByName
+	}
+	specA, err := lookup(nameA)
+	if err != nil {
+		return nil, nil, err
+	}
+	specB, err := lookup(nameB)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sys := kernel.NewSystem(kcfg)
+	type side struct {
+		spec *workload.Spec
+		res  *PairResult
+		proc *kernel.Process
+	}
+	sides := []*side{{spec: specA}, {spec: specB}}
+	runErrCh := make(chan error, len(sides))
+	for _, s := range sides {
+		prog := s.spec.Program(nil)
+		tgt := compiler.DefaultTarget(kcfg.PageSize, kcfg.UserMemPages)
+		tgt.Prefetch = mode.UsesPrefetch()
+		tgt.Release = mode.UsesRelease()
+		comp, err := compiler.Compile(prog, tgt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile %s: %w", s.spec.Name, err)
+		}
+		img, err := comp.Bind(s.spec.Params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bind %s: %w", s.spec.Name, err)
+		}
+		s.proc = sys.NewProcess(s.spec.Name, img.TotalPages)
+		var pm *pdpm.PM
+		if mode.UsesPrefetch() {
+			pm = s.proc.AttachPM(0)
+		}
+		layer := rt.New(s.proc, pm, rt.DefaultConfig(mode))
+		s.res = &PairResult{Bench: s.spec.Name, Mode: mode}
+		s.proc.Start(false, func(th *kernel.Thread) {
+			layer.Bind(th)
+			if err := img.Run(layer); err != nil {
+				runErrCh <- err
+			}
+		})
+	}
+
+	sys.Run(horizon)
+	select {
+	case err := <-runErrCh:
+		return nil, nil, err
+	default:
+	}
+	if err := sys.Audit(); err != nil {
+		return nil, nil, err
+	}
+	for _, s := range sides {
+		s.res.Elapsed = s.proc.Elapsed()
+		s.res.Done = s.proc.Done
+		s.res.Times = s.proc.Times
+		s.res.VM = s.proc.AS.Stats
+		s.res.Stolen = s.proc.AS.Stats.StolenPages
+	}
+	return sides[0].res, sides[1].res, nil
+}

@@ -1,0 +1,50 @@
+package driver
+
+import (
+	"testing"
+
+	"memhogs/internal/kernel"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+)
+
+func TestRunPairCompletes(t *testing.T) {
+	a, b, err := RunPair("matvec", "embar", rt.ModePrefetch, kernel.TestConfig(), true, 5*60*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done || !b.Done {
+		t.Fatalf("pair did not finish: %v / %v", a.Done, b.Done)
+	}
+	if a.VM.Touches == 0 || b.VM.Touches == 0 {
+		t.Fatal("a side did no work")
+	}
+}
+
+func TestPairReleasingReducesMutualStealing(t *testing.T) {
+	kcfg := kernel.TestConfig()
+	horizon := 5 * 60 * sim.Second
+	pa, pb, err := RunPair("matvec", "mgrid", rt.ModePrefetch, kcfg, true, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb, err := RunPair("matvec", "mgrid", rt.ModeAggressive, kcfg, true, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolenP := pa.Stolen + pb.Stolen
+	stolenR := ra.Stolen + rb.Stolen
+	if stolenR > stolenP/2 {
+		t.Fatalf("releasing did not cut mutual stealing: P=%d R=%d", stolenP, stolenR)
+	}
+	// And neither hog should get slower from the other's releases.
+	if ra.Elapsed > pa.Elapsed*12/10 {
+		t.Fatalf("matvec slower with releasing in the duel: %v vs %v", ra.Elapsed, pa.Elapsed)
+	}
+}
+
+func TestPairUnknownBenchmark(t *testing.T) {
+	if _, _, err := RunPair("nosuch", "embar", rt.ModeOriginal, kernel.TestConfig(), true, sim.Second); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

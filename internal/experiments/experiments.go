@@ -1,0 +1,254 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§4). Each experiment has a data-collection
+// function (shared across the figures that the paper derives from the
+// same runs) and a formatter that renders the paper's table or figure
+// as text.
+//
+// Experiment index:
+//
+//	Table 1   — hardware characteristics            (Table1)
+//	Table 2   — benchmark characteristics           (Table2)
+//	Figure 1  — interactive response vs sleep, O/P  (Fig1, from Sweep)
+//	Figure 7  — execution-time breakdown O/P/R/B    (Fig7, from Versions)
+//	Figure 8  — soft faults from invalidations      (Fig8, from Versions)
+//	Table 3   — paging-daemon activity              (Table3, from Versions)
+//	Figure 9  — outcomes of freed pages             (Fig9, from Versions)
+//	Figure 10a — interactive response vs sleep      (Fig10a, from Sweep)
+//	Figure 10b — normalized response, all benches   (Fig10b, from Interactive)
+//	Figure 10c — interactive hard faults per sweep  (Fig10c, from Interactive)
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"memhogs/internal/driver"
+	"memhogs/internal/kernel"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/workload"
+)
+
+// Modes is the paper's program-version order.
+var Modes = []rt.Mode{rt.ModeOriginal, rt.ModePrefetch, rt.ModeAggressive, rt.ModeBuffered}
+
+// Opts configures an experiment campaign.
+type Opts struct {
+	// Scaled selects the small test machine and scaled benchmarks
+	// (fast, for CI); otherwise the full Table 1 platform is used.
+	Scaled bool
+
+	// Sleep is the interactive task's think time for the fixed-sleep
+	// experiments (the paper uses five seconds).
+	Sleep sim.Time
+
+	// SleepTimes is the sweep for Figures 1 and 10(a).
+	SleepTimes []sim.Time
+
+	// Horizon bounds the repeat-mode interactive experiments.
+	Horizon sim.Time
+
+	// Benches filters the benchmark set (nil = all six).
+	Benches []string
+
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Default returns the paper's full-scale experiment configuration.
+func Default() Opts {
+	return Opts{
+		Sleep:      5 * sim.Second,
+		SleepTimes: []sim.Time{0, 1 * sim.Second, 2 * sim.Second, 5 * sim.Second, 10 * sim.Second, 15 * sim.Second, 20 * sim.Second, 30 * sim.Second},
+		Horizon:    25 * sim.Second,
+	}
+}
+
+// Quick returns a scaled-down campaign for tests and Go benchmarks.
+func Quick() Opts {
+	o := Default()
+	o.Scaled = true
+	o.Horizon = 10 * sim.Second
+	o.Sleep = 1 * sim.Second
+	o.SleepTimes = []sim.Time{0, 500 * sim.Millisecond, 1 * sim.Second, 2 * sim.Second}
+	return o
+}
+
+func (o Opts) kernelConfig() kernel.Config {
+	if o.Scaled {
+		return kernel.TestConfig()
+	}
+	return kernel.DefaultConfig()
+}
+
+func (o Opts) specs() ([]*workload.Spec, error) {
+	all := workload.All()
+	if o.Scaled {
+		all = workload.AllScaled()
+	}
+	if len(o.Benches) == 0 {
+		return all, nil
+	}
+	var out []*workload.Spec
+	for _, name := range o.Benches {
+		found := false
+		for _, s := range all {
+			if s.Name == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+	}
+	return out, nil
+}
+
+func (o Opts) progressf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}
+
+// Versions is the shared dataset behind Figure 7, Figure 8, Table 3
+// and Figure 9: each benchmark run once to completion in all four
+// versions, with the interactive task running concurrently at the
+// fixed sleep time (the paper's §4 setup).
+type Versions struct {
+	Opts    Opts
+	Specs   []*workload.Spec
+	Results map[string]map[rt.Mode]*driver.Result
+}
+
+// RunVersions collects the Versions dataset.
+func RunVersions(o Opts) (*Versions, error) {
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	v := &Versions{Opts: o, Specs: specs, Results: map[string]map[rt.Mode]*driver.Result{}}
+	for _, spec := range specs {
+		v.Results[spec.Name] = map[rt.Mode]*driver.Result{}
+		for _, mode := range Modes {
+			cfg := driver.RunConfig{
+				Kernel:           o.kernelConfig(),
+				Mode:             mode,
+				RT:               rt.DefaultConfig(mode),
+				Horizon:          30 * 60 * sim.Second,
+				InteractiveSleep: o.Sleep,
+			}
+			r, err := driver.Run(spec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", spec.Name, mode, err)
+			}
+			v.Results[spec.Name][mode] = r
+			o.progressf("versions %s/%s: %v\n", spec.Name, mode, r.Elapsed)
+		}
+	}
+	return v, nil
+}
+
+// Interactive is the dataset behind Figures 10(b) and 10(c): each
+// benchmark repeated until the horizon, all four versions, with the
+// interactive task at the fixed sleep time, plus the run-alone
+// baseline.
+type Interactive struct {
+	Opts    Opts
+	Specs   []*workload.Spec
+	Alone   sim.Time
+	Results map[string]map[rt.Mode]*driver.Result
+}
+
+// RunInteractive collects the Interactive dataset.
+func RunInteractive(o Opts) (*Interactive, error) {
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	d := &Interactive{Opts: o, Specs: specs, Results: map[string]map[rt.Mode]*driver.Result{}}
+	d.Alone = driver.AloneResponse(o.kernelConfig(), o.Sleep, 6)
+	for _, spec := range specs {
+		d.Results[spec.Name] = map[rt.Mode]*driver.Result{}
+		for _, mode := range Modes {
+			cfg := driver.RunConfig{
+				Kernel:           o.kernelConfig(),
+				Mode:             mode,
+				RT:               rt.DefaultConfig(mode),
+				Repeat:           true,
+				Horizon:          o.Horizon,
+				InteractiveSleep: o.Sleep,
+			}
+			r, err := driver.Run(spec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", spec.Name, mode, err)
+			}
+			d.Results[spec.Name][mode] = r
+			o.progressf("interactive %s/%s: %.1fx\n", spec.Name, mode,
+				float64(r.Interactive.MeanResponse)/float64(d.Alone))
+		}
+	}
+	return d, nil
+}
+
+// Sweep is the dataset behind Figures 1 and 10(a): the interactive
+// task's response time across sleep times, with MATVEC running
+// concurrently in each version, plus the run-alone baseline per sleep.
+type Sweep struct {
+	Opts   Opts
+	Sleeps []sim.Time
+	Alone  map[sim.Time]sim.Time
+	// Response[mode][sleep] is the mean interactive response.
+	Response map[rt.Mode]map[sim.Time]sim.Time
+}
+
+// RunSweep collects the Sweep dataset using the MATVEC kernel, as in
+// the paper.
+func RunSweep(o Opts) (*Sweep, error) {
+	spec, err := workload.ByName("matvec")
+	if o.Scaled {
+		spec, err = workload.ScaledByName("matvec")
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{
+		Opts:     o,
+		Sleeps:   o.SleepTimes,
+		Alone:    map[sim.Time]sim.Time{},
+		Response: map[rt.Mode]map[sim.Time]sim.Time{},
+	}
+	for _, mode := range Modes {
+		s.Response[mode] = map[sim.Time]sim.Time{}
+	}
+	for _, sleep := range o.SleepTimes {
+		horizon := o.Horizon
+		if min := 3*sleep + 10*sim.Second; horizon < min {
+			horizon = min
+		}
+		if o.Scaled {
+			if min := 3*sleep + 3*sim.Second; horizon < min {
+				horizon = min
+			}
+		}
+		s.Alone[sleep] = driver.AloneResponse(o.kernelConfig(), sleep, 5)
+		for _, mode := range Modes {
+			cfg := driver.RunConfig{
+				Kernel:           o.kernelConfig(),
+				Mode:             mode,
+				RT:               rt.DefaultConfig(mode),
+				Repeat:           true,
+				Horizon:          horizon,
+				InteractiveSleep: sleep,
+			}
+			r, err := driver.Run(spec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s sleep=%v: %w", mode, sleep, err)
+			}
+			s.Response[mode][sleep] = r.Interactive.MeanResponse
+			o.progressf("sweep sleep=%v %s: %v\n", sleep, mode, r.Interactive.MeanResponse)
+		}
+	}
+	return s, nil
+}

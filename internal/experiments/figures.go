@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/metrics"
+	"memhogs/internal/rt"
+	"memhogs/internal/vm"
+)
+
+// Fig1 renders Figure 1: the impact of an out-of-core MATVEC (original
+// and prefetching versions) on the interactive task's response time
+// across sleep times.
+func Fig1(s *Sweep) *metrics.Table {
+	t := metrics.NewTable("Figure 1: interactive response time vs sleep time (MATVEC running)",
+		"sleep", "alone", "with original", "with prefetching", "orig/alone", "pf/alone")
+	for _, sleep := range s.Sleeps {
+		alone := s.Alone[sleep]
+		o := s.Response[rt.ModeOriginal][sleep]
+		p := s.Response[rt.ModePrefetch][sleep]
+		t.AddRow(sleep.String(), alone.String(), o.String(), p.String(),
+			metrics.Ratio(float64(o), float64(alone)),
+			metrics.Ratio(float64(p), float64(alone)))
+	}
+	t.AddNote("Expected shape: response rises with sleep time; prefetching rises faster and higher.")
+	return t
+}
+
+// Fig7 renders Figure 7: normalized execution-time breakdowns for the
+// four versions of each benchmark, with the paper's four components
+// (user, system, stall-resources, stall-I/O).
+func Fig7(v *Versions) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: execution time breakdown, normalized to the original version (O=100)\n")
+	for _, spec := range v.Specs {
+		res := v.Results[spec.Name]
+		base := float64(res[rt.ModeOriginal].TotalTime())
+		if base == 0 {
+			continue
+		}
+		t := metrics.NewTable(fmt.Sprintf("  %s", spec.Name),
+			"version", "user", "system", "stall-res", "stall-io", "total", "normalized")
+		for _, mode := range Modes {
+			r := res[mode]
+			t.AddRow(mode.String(),
+				r.Times[vm.BucketUser].String(),
+				r.Times[vm.BucketSystem].String(),
+				r.StallResources().String(),
+				r.Times[vm.BucketStallIO].String(),
+				r.TotalTime().String(),
+				fmt.Sprintf("%5.1f", 100*float64(r.TotalTime())/base))
+		}
+		b.WriteString(t.String())
+		// A stacked bar per version, paper-style.
+		for _, mode := range Modes {
+			r := res[mode]
+			bar := metrics.StackedBar(
+				[]float64{
+					float64(r.Times[vm.BucketUser]),
+					float64(r.Times[vm.BucketSystem]),
+					float64(r.StallResources()),
+					float64(r.Times[vm.BucketStallIO]),
+				},
+				[]rune{'u', 's', 'r', 'i'},
+				base, 60)
+			fmt.Fprintf(&b, "  %s |%s\n", mode, bar)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Legend: u=user s=system r=stall-resources i=stall-I/O\n")
+	return b.String()
+}
+
+// Fig8 renders Figure 8: soft page faults caused by the paging
+// daemon's reference-bit invalidations, per benchmark and version.
+func Fig8(v *Versions) *metrics.Table {
+	t := metrics.NewTable("Figure 8: soft page faults caused by reference-bit invalidations",
+		"benchmark", "O", "P", "R", "B")
+	for _, spec := range v.Specs {
+		res := v.Results[spec.Name]
+		t.AddRow(spec.Name,
+			res[rt.ModeOriginal].VM.SoftFaultsDaemon,
+			res[rt.ModePrefetch].VM.SoftFaultsDaemon,
+			res[rt.ModeAggressive].VM.SoftFaultsDaemon,
+			res[rt.ModeBuffered].VM.SoftFaultsDaemon)
+	}
+	t.AddNote("Expected shape: P >= O, and releasing (R/B) collapses invalidation faults.")
+	return t
+}
+
+// Fig9 renders Figure 9: the outcome breakdown for freed pages — who
+// freed them (paging daemon vs explicit release) and what fraction of
+// each was rescued from the free list.
+func Fig9(v *Versions) *metrics.Table {
+	t := metrics.NewTable("Figure 9: breakdown of outcomes for freed pages",
+		"benchmark", "ver", "freed by daemon", "rescued (daemon)", "freed by release", "rescued (release)")
+	for _, spec := range v.Specs {
+		for _, mode := range Modes {
+			r := v.Results[spec.Name][mode]
+			ph := r.Phys
+			t.AddRow(spec.Name, mode.String(),
+				ph.FreedByDaemon,
+				metrics.Pct(float64(ph.RescuedDaemon), float64(ph.FreedByDaemon)),
+				ph.FreedByRelease,
+				metrics.Pct(float64(ph.RescuedRelease), float64(ph.FreedByRelease)))
+		}
+	}
+	t.AddNote("Expected shapes: with releasing most frees come from releases with few rescues;")
+	t.AddNote("MGRID remains imprecise (many rescued releases); MATVEC-R rescues its vector repeatedly.")
+	return t
+}
+
+// Fig10a renders Figure 10(a): the interactive task's response time
+// across sleep times for all MATVEC versions.
+func Fig10a(s *Sweep) *metrics.Table {
+	t := metrics.NewTable("Figure 10(a): interactive response vs sleep time (MATVEC versions)",
+		"sleep", "alone", "O", "P", "R", "B")
+	for _, sleep := range s.Sleeps {
+		t.AddRow(sleep.String(),
+			s.Alone[sleep].String(),
+			s.Response[rt.ModeOriginal][sleep].String(),
+			s.Response[rt.ModePrefetch][sleep].String(),
+			s.Response[rt.ModeAggressive][sleep].String(),
+			s.Response[rt.ModeBuffered][sleep].String())
+	}
+	t.AddNote("Expected shape: O and P inflate with sleep time; R and B track the run-alone response.")
+	return t
+}
+
+// Fig10b renders Figure 10(b): mean interactive response at the fixed
+// sleep time, normalized to running alone, for every benchmark and
+// version.
+func Fig10b(d *Interactive) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 10(b): normalized interactive response (sleep %v, alone %v)", d.Opts.Sleep, d.Alone),
+		"benchmark", "O", "P", "R", "B")
+	for _, spec := range d.Specs {
+		row := []interface{}{spec.Name}
+		for _, mode := range Modes {
+			r := d.Results[spec.Name][mode]
+			row = append(row, metrics.Ratio(float64(r.Interactive.MeanResponse), float64(d.Alone)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("Expected shape: releasing eliminates the degradation everywhere except FFTPDE-B,")
+	t.AddNote("which fails to release enough memory (the paper's exception).")
+	return t
+}
+
+// Fig10c renders Figure 10(c): the interactive task's hard page faults
+// (pages read from disk) per sweep through its data set.
+func Fig10c(d *Interactive) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 10(c): interactive pages read from disk per sweep (sleep %v)", d.Opts.Sleep),
+		"benchmark", "O", "P", "R", "B")
+	for _, spec := range d.Specs {
+		row := []interface{}{spec.Name}
+		for _, mode := range Modes {
+			r := d.Results[spec.Name][mode]
+			row = append(row, fmt.Sprintf("%.1f", r.Interactive.MeanPageIns))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("The interactive data set is 64 pages; the paper reports a 65-page maximum.")
+	return t
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+)
+
+// synthSweep builds a paper-shaped sleep sweep without running the
+// simulator.
+func synthSweep() *Sweep {
+	s := &Sweep{
+		Opts:     Default(),
+		Sleeps:   []sim.Time{0, sim.Second, 5 * sim.Second},
+		Alone:    map[sim.Time]sim.Time{},
+		Response: map[rt.Mode]map[sim.Time]sim.Time{},
+	}
+	for _, m := range Modes {
+		s.Response[m] = map[sim.Time]sim.Time{}
+	}
+	for i, sl := range s.Sleeps {
+		s.Alone[sl] = sim.Millisecond
+		s.Response[rt.ModeOriginal][sl] = sim.Millisecond * sim.Time(1+i*50)
+		s.Response[rt.ModePrefetch][sl] = sim.Millisecond * sim.Time(1+i*150)
+		s.Response[rt.ModeAggressive][sl] = sim.Millisecond
+		s.Response[rt.ModeBuffered][sl] = sim.Millisecond
+	}
+	return s
+}
+
+func TestFig1Formatting(t *testing.T) {
+	out := Fig1(synthSweep()).String()
+	for _, want := range []string{"sleep", "alone", "with original", "with prefetching", "301.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10aFormatting(t *testing.T) {
+	out := Fig10a(synthSweep()).String()
+	for _, want := range []string{"O", "P", "R", "B", "5.000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig10a missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClaimsOnSynthSweep(t *testing.T) {
+	claims := CheckClaims(nil, nil, synthSweep())
+	byID := map[string]Claim{}
+	for _, c := range claims {
+		byID[c.ID] = c
+	}
+	for _, id := range []string{"C9a", "C9b", "C9c"} {
+		c, ok := byID[id]
+		if !ok {
+			t.Fatalf("claim %s missing", id)
+		}
+		if !c.Pass {
+			t.Errorf("claim %s failed on paper-shaped sweep: %s", id, c.Detail)
+		}
+	}
+}

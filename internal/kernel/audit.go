@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"fmt"
+
+	"memhogs/internal/mem"
+)
+
+// Audit cross-checks the VM invariants between the physical frame
+// pool and every address space's page table. It is cheap enough to run
+// after every test scenario and catches double frees, leaked frames,
+// stale identities, and resident-count drift.
+//
+// Invariants:
+//
+//  1. Every frame is either on the free list or owned by exactly one
+//     resident virtual page.
+//  2. An address space's Resident count equals its number of Present
+//     PTEs.
+//  3. A Present PTE's frame points back at (AS, vpn) and is not on the
+//     free list.
+//  4. A non-present PTE that still names a frame (rescuable) points at
+//     a free-listed frame with the matching identity.
+//  5. Free count + resident pages across all processes = total frames.
+func (sys *System) Audit() error {
+	phys := sys.Phys
+
+	// Pass 1: per-frame checks, collecting ownership.
+	type key struct {
+		owner string
+		vpn   int
+	}
+	owners := map[key]mem.FrameID{}
+	free := 0
+	for i := 0; i < phys.NumFrames(); i++ {
+		f := phys.Frame(mem.FrameID(i))
+		if f.OnFreeList() {
+			free++
+			continue
+		}
+		if f.Owner == nil {
+			return fmt.Errorf("audit: frame %d neither free nor owned", f.ID)
+		}
+		k := key{f.Owner.OwnerName(), f.VPN}
+		if prev, dup := owners[k]; dup {
+			return fmt.Errorf("audit: page %s:%d owned by frames %d and %d",
+				k.owner, k.vpn, prev, f.ID)
+		}
+		owners[k] = f.ID
+	}
+	if free != phys.FreeCount() {
+		return fmt.Errorf("audit: free-list count %d != %d frames marked free",
+			phys.FreeCount(), free)
+	}
+
+	// Pass 2: per-address-space checks.
+	residentTotal := 0
+	for _, p := range sys.procs {
+		as := p.AS
+		resident := 0
+		for vpn := 0; vpn < as.NumPages(); vpn++ {
+			pte := as.PTE(vpn)
+			switch {
+			case pte.Present:
+				resident++
+				if pte.Frame == mem.NoFrame {
+					return fmt.Errorf("audit: %s:%d present without frame", p.Name, vpn)
+				}
+				f := phys.Frame(pte.Frame)
+				if f.OnFreeList() {
+					return fmt.Errorf("audit: %s:%d present but frame %d is free",
+						p.Name, vpn, f.ID)
+				}
+				if f.Owner == nil || f.Owner.OwnerName() != p.Name || f.VPN != vpn {
+					return fmt.Errorf("audit: %s:%d frame %d identity mismatch (%v:%d)",
+						p.Name, vpn, f.ID, f.Owner, f.VPN)
+				}
+			case pte.Frame != mem.NoFrame:
+				// Rescuable: the frame must be free-listed with our
+				// identity (otherwise FrameInvalidated should have
+				// cleared the PTE).
+				f := phys.Frame(pte.Frame)
+				if pte.Busy {
+					continue // page-in in flight
+				}
+				if !f.OnFreeList() {
+					return fmt.Errorf("audit: %s:%d rescuable frame %d not on free list",
+						p.Name, vpn, f.ID)
+				}
+				if f.Owner == nil || f.Owner.OwnerName() != p.Name || f.VPN != vpn {
+					return fmt.Errorf("audit: %s:%d stale rescue identity on frame %d",
+						p.Name, vpn, f.ID)
+				}
+			}
+			if pte.Valid && !pte.Present {
+				return fmt.Errorf("audit: %s:%d valid but not present", p.Name, vpn)
+			}
+		}
+		if resident != as.Resident {
+			return fmt.Errorf("audit: %s resident count %d != %d present PTEs",
+				p.Name, as.Resident, resident)
+		}
+		residentTotal += resident
+	}
+
+	// Busy pages own frames that are neither free nor yet present;
+	// account for them before the conservation check.
+	busy := 0
+	for _, p := range sys.procs {
+		for vpn := 0; vpn < p.AS.NumPages(); vpn++ {
+			if p.AS.PTE(vpn).Busy {
+				busy++
+			}
+		}
+	}
+	if free+residentTotal+busy != phys.NumFrames() {
+		return fmt.Errorf("audit: conservation failed: free %d + resident %d + busy %d != %d frames",
+			free, residentTotal, busy, phys.NumFrames())
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package kernel
+
+import (
+	"fmt"
+
+	"memhogs/internal/disk"
+	"memhogs/internal/mem"
+	"memhogs/internal/pageout"
+	"memhogs/internal/pdpm"
+	"memhogs/internal/sim"
+	"memhogs/internal/vm"
+)
+
+// System is the assembled machine: simulator, physical memory, disks,
+// daemons, and CPU scheduler.
+type System struct {
+	Cfg      Config
+	Sim      *sim.Sim
+	Phys     *mem.Phys
+	Disks    *disk.Array
+	Daemon   *pageout.Daemon
+	Releaser *pageout.Releaser
+
+	cpus       *sim.Sem
+	DaemonTime [vm.NumBuckets]sim.Time // CPU consumed by the two daemons
+
+	procs      []*Process
+	pms        []*pdpm.PM
+	nextID     int
+	swapCursor int64
+}
+
+// NewSystem builds and boots a system: daemons started, scheduler
+// ready. It panics on an invalid configuration (construction is
+// programmer-controlled).
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := sim.New()
+	sys := &System{
+		Cfg:  cfg,
+		Sim:  s,
+		cpus: sim.NewSem("cpus", cfg.NCPU),
+	}
+	sys.Phys = mem.New(s, cfg.UserMemPages)
+	sys.Phys.LowWater = cfg.MinFreePages
+	sys.Phys.FreeChanged = func(free int) {
+		for _, pm := range sys.pms {
+			pm.FreeMemChanged(free)
+		}
+	}
+	dcfg := cfg.Disk
+	if dcfg.Seed == 0 {
+		dcfg.Seed = cfg.Seed
+	}
+	sys.Disks = disk.New(s, dcfg)
+	sys.Daemon = pageout.NewDaemon(s, sys.Phys, sys.Disks, cfg.Daemon)
+	sys.Phys.NeedMemory = sys.Daemon.Kick
+	sys.Releaser = pageout.NewReleaser(s, sys.Disks, cfg.Releaser)
+
+	sys.Daemon.Start(func(p *sim.Proc) vm.Exec {
+		return &execCtx{sys: sys, proc: p, times: &sys.DaemonTime, flush: func() {}}
+	})
+	sys.Releaser.Start(func(p *sim.Proc) vm.Exec {
+		return &execCtx{sys: sys, proc: p, times: &sys.DaemonTime, flush: func() {}}
+	})
+	return sys
+}
+
+// Run executes the simulation until idle, the horizon, or a Stop. It
+// returns the stop time.
+func (sys *System) Run(horizon sim.Time) sim.Time {
+	return sys.Sim.Run(horizon)
+}
+
+// Now returns the current virtual time.
+func (sys *System) Now() sim.Time { return sys.Sim.Now() }
+
+// Procs returns the processes created so far.
+func (sys *System) Procs() []*Process { return sys.procs }
+
+// execCtx implements vm.Exec for one simulated thread.
+type execCtx struct {
+	sys   *System
+	proc  *sim.Proc
+	times *[vm.NumBuckets]sim.Time
+	flush func() // flush pending user compute before system work
+}
+
+// Proc implements vm.Exec.
+func (e *execCtx) Proc() *sim.Proc { return e.proc }
+
+// System implements vm.Exec: consume CPU in system mode. Pending user
+// computation is flushed first so kernel work lands after the
+// computation that preceded it.
+func (e *execCtx) System(d sim.Time) {
+	e.flush()
+	e.consume(d, vm.BucketSystem)
+}
+
+// Account implements vm.Exec.
+func (e *execCtx) Account(b vm.Bucket, d sim.Time) { e.times[b] += d }
+
+// consume schedules d of CPU time in quantum-sized slices, contending
+// with all other runnable threads for the machine's processors.
+func (e *execCtx) consume(d sim.Time, b vm.Bucket) {
+	for d > 0 {
+		w := e.sys.cpus.Acquire(e.proc)
+		if w > 0 {
+			e.times[vm.BucketStallCPU] += w
+		}
+		q := d
+		if q > e.sys.Cfg.CPUQuantum {
+			q = e.sys.Cfg.CPUQuantum
+		}
+		e.proc.Sleep(q)
+		e.sys.cpus.Release()
+		e.times[b] += q
+		d -= q
+	}
+}
+
+// Process is a simulated user process: one address space, optionally a
+// PagingDirected PM, and one or more threads.
+type Process struct {
+	Sys  *System
+	Name string
+	AS   *vm.AS
+	PM   *pdpm.PM
+
+	// Times accumulates the main thread's time buckets; WorkerTimes
+	// accumulates all helper threads' (the paper reports the
+	// application's own execution time; prefetch service happens on
+	// separate threads).
+	Times       [vm.NumBuckets]sim.Time
+	WorkerTimes [vm.NumBuckets]sim.Time
+
+	StartedAt  sim.Time
+	FinishedAt sim.Time
+	Done       bool
+
+	main *Thread
+}
+
+// NewProcess creates a process with an address space of npages virtual
+// pages and registers it with the paging daemon.
+func (sys *System) NewProcess(name string, npages int) *Process {
+	if npages <= 0 {
+		panic(fmt.Sprintf("kernel: process %q needs at least one page", name))
+	}
+	p := &Process{Sys: sys, Name: name}
+	p.AS = vm.NewAS(name, sys.nextID, npages, sys.swapCursor, sys.Phys, sys.Disks, sys.Cfg.VM)
+	sys.nextID++
+	// Offset swap bases by a small prime so different processes do not
+	// stripe-align with each other.
+	sys.swapCursor += int64(npages) + 7
+	p.AS.OverLimit = sys.Daemon.Kick
+	sys.Daemon.Register(p.AS)
+	sys.procs = append(sys.procs, p)
+	return p
+}
+
+// AttachPM attaches a PagingDirected policy module to the process's
+// whole address space. maxRSS <= 0 means unlimited.
+func (p *Process) AttachPM(maxRSS int) *pdpm.PM {
+	cfg := p.Sys.Cfg.PM
+	cfg.MaxRSS = maxRSS
+	p.PM = pdpm.Attach(p.AS, p.Sys.Phys, p.Sys.Releaser, cfg)
+	p.Sys.pms = append(p.Sys.pms, p.PM)
+	if maxRSS > 0 {
+		p.AS.MaxRSS = maxRSS
+	}
+	return p.PM
+}
+
+// Thread is one simulated thread of a process.
+type Thread struct {
+	P    *Process
+	exec *execCtx
+
+	pendingUser sim.Time
+	UserCalls   int64 // number of User() accumulations, for overhead stats
+}
+
+// Start launches the process's main thread running body. When body
+// returns the process is marked done; if stopSim is true the whole
+// simulation stops (used to end an experiment when the measured
+// application finishes).
+func (p *Process) Start(stopSim bool, body func(t *Thread)) *Thread {
+	t := &Thread{P: p}
+	p.main = t
+	p.StartedAt = p.Sys.Now()
+	p.Sys.Sim.Spawn(p.Name, func(proc *sim.Proc) {
+		t.exec = &execCtx{sys: p.Sys, proc: proc, times: &p.Times, flush: t.FlushUser}
+		body(t)
+		t.FlushUser()
+		p.FinishedAt = proc.Now()
+		p.Done = true
+		if stopSim {
+			p.Sys.Sim.Stop()
+		}
+	})
+	return t
+}
+
+// SpawnThread launches a helper thread (e.g. a prefetch worker) whose
+// time is accounted to WorkerTimes.
+func (p *Process) SpawnThread(name string, body func(t *Thread)) *Thread {
+	t := &Thread{P: p}
+	p.Sys.Sim.Spawn(p.Name+"."+name, func(proc *sim.Proc) {
+		t.exec = &execCtx{sys: p.Sys, proc: proc, times: &p.WorkerTimes, flush: t.FlushUser}
+		body(t)
+		t.FlushUser()
+	})
+	return t
+}
+
+// Exec returns the thread's vm.Exec context.
+func (t *Thread) Exec() vm.Exec { return t.exec }
+
+// Proc returns the underlying simulated process.
+func (t *Thread) Proc() *sim.Proc { return t.exec.proc }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.exec.proc.Now() }
+
+// User accumulates d of user-mode computation. The time is scheduled
+// lazily (see FlushUser) so that page-granular workloads do not
+// generate one event per arithmetic strip.
+func (t *Thread) User(d sim.Time) {
+	t.pendingUser += d
+	t.UserCalls++
+	if t.pendingUser >= t.P.Sys.Cfg.UserFlush {
+		t.FlushUser()
+	}
+}
+
+// PendingUser returns user computation accumulated but not yet
+// scheduled (bounded by Config.UserFlush).
+func (t *Thread) PendingUser() sim.Time { return t.pendingUser }
+
+// FlushUser schedules any accumulated user computation now.
+func (t *Thread) FlushUser() {
+	if t.pendingUser > 0 {
+		d := t.pendingUser
+		t.pendingUser = 0
+		t.exec.consume(d, vm.BucketUser)
+	}
+}
+
+// Touch references virtual page vpn, taking faults as needed.
+func (t *Thread) Touch(vpn int, write bool) vm.Outcome {
+	as := t.P.AS
+	if as.ResidentValid(vpn) {
+		return as.Touch(t.exec, vpn, write)
+	}
+	// Slow path: make sure accumulated computation happens first so
+	// faults land at the right virtual time.
+	t.FlushUser()
+	return as.Touch(t.exec, vpn, write)
+}
+
+// SleepIdle blocks the thread without consuming CPU (the interactive
+// task's think time).
+func (t *Thread) SleepIdle(d sim.Time) {
+	t.FlushUser()
+	t.exec.proc.Sleep(d)
+}
+
+// Park blocks until another thread wakes the underlying proc.
+func (t *Thread) Park() {
+	t.FlushUser()
+	t.exec.proc.Park()
+}
+
+// TotalTime returns the sum of all buckets for the main thread.
+func (p *Process) TotalTime() sim.Time {
+	var sum sim.Time
+	for _, d := range p.Times {
+		sum += d
+	}
+	return sum
+}
+
+// Elapsed returns wall-clock (virtual) run time of the main thread.
+func (p *Process) Elapsed() sim.Time {
+	if p.Done {
+		return p.FinishedAt - p.StartedAt
+	}
+	return p.Sys.Now() - p.StartedAt
+}

@@ -1,0 +1,258 @@
+// Package lang defines a small loop-nest language for array-based
+// scientific programs — the input the paper's SUIF pass consumes. It
+// provides the AST, a parser for a C-like surface syntax, scalar and
+// affine expression evaluation, and a printer.
+//
+// The language is deliberately restricted to what the compiler
+// analysis (package compiler) can reason about, mirroring the paper:
+// perfectly or imperfectly nested counted loops, affine array
+// subscripts over loop variables and symbolic parameters, one level of
+// indirection (a[b[i]]), and procedures whose formal parameters may
+// appear in loop bounds (the MGRID "single version of code" case).
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a compilation unit.
+type Program struct {
+	Name   string
+	Params []string // runtime symbols (problem sizes, strides)
+	Arrays []*Array
+	Procs  []*Proc
+	Body   []Stmt
+
+	// Known maps the params whose values the compiler may assume at
+	// compile time (the paper's compiler is "given the dimensions of
+	// the matrix"); unknown params force conservative analysis.
+	Known map[string]int64
+}
+
+// Array declares an array. Dims are outermost-first extents; layout is
+// row-major. ElemSize is in bytes.
+type Array struct {
+	Name     string
+	ElemSize int
+	Dims     []Scalar
+
+	// Data, if non-nil, supplies the value of element i for arrays
+	// used as indirection indices (e.g. BUK's key array). It is
+	// attached by the workload after parsing; the surface syntax does
+	// not define data.
+	Data func(i int64) int64
+}
+
+// NumElems evaluates the total element count under env (nil Known
+// entries must be bound). It returns an error if a dimension is
+// unresolvable.
+func (a *Array) NumElems(env Env) (int64, error) {
+	n := int64(1)
+	for _, d := range a.Dims {
+		v, err := d.Eval(env)
+		if err != nil {
+			return 0, fmt.Errorf("array %s: %w", a.Name, err)
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("array %s: non-positive dimension %d", a.Name, v)
+		}
+		n *= v
+	}
+	return n, nil
+}
+
+// Bytes evaluates the array's total size in bytes.
+func (a *Array) Bytes(env Env) (int64, error) {
+	n, err := a.NumElems(env)
+	if err != nil {
+		return 0, err
+	}
+	return n * int64(a.ElemSize), nil
+}
+
+// Proc is a procedure; formals may appear in bounds and subscripts of
+// its body. Procedures enable the paper's MGRID pathology: one
+// compiled body runs under many different bound bindings.
+type Proc struct {
+	Name    string
+	Formals []string
+	Body    []Stmt
+}
+
+// Stmt is a statement: Loop, Assign, or Call.
+type Stmt interface {
+	isStmt()
+	print(b *strings.Builder, indent int)
+}
+
+// Loop is a counted loop: for Var = Lo .. Hi step Step { Body }, with
+// Hi inclusive and Step > 0 (the analyses assume ascending loops, as
+// do all the paper's benchmarks after normalization).
+type Loop struct {
+	Var  string
+	Lo   Scalar
+	Hi   Scalar
+	Step int64
+	Body []Stmt
+}
+
+func (*Loop) isStmt() {}
+
+// Assign is an assignment statement whose left side is an array
+// reference and whose right side is an arithmetic expression over
+// array references, scalars, and numbers. CostNS is the modelled
+// user-CPU time of one execution in nanoseconds; when zero the
+// compiler derives it from the operation count.
+type Assign struct {
+	LHS    *Ref
+	RHS    ExprNode
+	CostNS float64
+}
+
+func (*Assign) isStmt() {}
+
+// Call invokes a procedure with actual scalar arguments.
+type Call struct {
+	Proc *Proc
+	Args []Scalar
+}
+
+func (*Call) isStmt() {}
+
+// Ref is an array reference with one subscript per dimension.
+type Ref struct {
+	Array *Array
+	Index []Index
+	Write bool
+}
+
+// Index is a subscript: either an affine expression or an indirect
+// reference through another array.
+type Index interface{ isIndex() }
+
+// Affine is c0 + Σ coef·var, where a coefficient may itself be a
+// runtime parameter (CoefParam). Symbolic coefficients model the
+// FFTPDE stride-change pathology: the compiler cannot see that the
+// subscript varies with the loop variable.
+type Affine struct {
+	Const int64
+	Terms []Term
+}
+
+func (*Affine) isIndex() {}
+
+// Term is one linear term of an Affine.
+type Term struct {
+	Var       string
+	Coef      int64
+	CoefParam string // non-empty: coefficient is param·Coef
+}
+
+// Indirect is a subscript read through an index array: Array[Idx].
+type Indirect struct {
+	Array *Array
+	Idx   *Affine
+}
+
+func (*Indirect) isIndex() {}
+
+// ExprNode is a right-hand-side arithmetic expression.
+type ExprNode interface{ isExpr() }
+
+// BinOp is a binary arithmetic operation.
+type BinOp struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R ExprNode
+}
+
+func (*BinOp) isExpr() {}
+
+// RefExpr wraps an array reference used as an operand.
+type RefExpr struct{ Ref *Ref }
+
+func (*RefExpr) isExpr() {}
+
+// NumExpr is a numeric literal operand.
+type NumExpr struct{ Val float64 }
+
+func (*NumExpr) isExpr() {}
+
+// VarExpr is a scalar variable (loop var or param) operand.
+type VarExpr struct{ Name string }
+
+func (*VarExpr) isExpr() {}
+
+// Refs appends every array reference in the expression tree to dst,
+// left to right, and returns it.
+func Refs(e ExprNode, dst []*Ref) []*Ref {
+	switch n := e.(type) {
+	case *BinOp:
+		dst = Refs(n.L, dst)
+		dst = Refs(n.R, dst)
+	case *RefExpr:
+		dst = append(dst, n.Ref)
+	}
+	return dst
+}
+
+// Ops counts arithmetic operations in the expression tree, the default
+// cost model input.
+func Ops(e ExprNode) int {
+	if b, ok := e.(*BinOp); ok {
+		return 1 + Ops(b.L) + Ops(b.R)
+	}
+	return 0
+}
+
+// StmtRefs returns all array references of a statement (LHS first for
+// Assign), or nil for non-reference statements.
+func StmtRefs(s Stmt) []*Ref {
+	a, ok := s.(*Assign)
+	if !ok {
+		return nil
+	}
+	refs := []*Ref{a.LHS}
+	return Refs(a.RHS, refs)
+}
+
+// FindArray returns the declared array with the given name, or nil.
+func (p *Program) FindArray(name string) *Array {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// FindProc returns the declared procedure with the given name, or nil.
+func (p *Program) FindProc(name string) *Proc {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// HasParam reports whether name is a declared runtime parameter.
+func (p *Program) HasParam(name string) bool {
+	for _, q := range p.Params {
+		if q == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SetData attaches a data generator to the named array (used for
+// indirection indices). It panics if the array does not exist, since
+// workloads control both sides.
+func (p *Program) SetData(array string, fn func(int64) int64) {
+	a := p.FindArray(array)
+	if a == nil {
+		panic("lang: SetData on unknown array " + array)
+	}
+	a.Data = fn
+}

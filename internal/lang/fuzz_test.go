@@ -1,0 +1,93 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that everything it
+// accepts round-trips through Format. The seed corpus covers every
+// syntactic feature; `go test -fuzz=FuzzParse ./internal/lang` explores
+// further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"program p\narray a[4] of float64\na[0] = 1",
+		"program p\nparam N\nknown N = 8\narray a[N] of float64\nfor i = 0 to N-1 { a[i] = a[i] + 1 @ 5 }",
+		"program p\nparam N, S\narray a[64] of int32\nfor i = 0 to N-1 { a[S*i] = 2 * a[S*i] }",
+		"program p\narray b[8] of int64\narray a[8] of float64\nfor i = 0 to 7 { a[b[i]] = a[b[i]] / 2 }",
+		"program p\nparam N\narray u[16] of float64\nproc f(n) { for i = 0 to n-1 { u[i] = 0 } }\ncall f(N/2)",
+		"program p\narray a[4][4] of complex128\nfor i = 1 to 2 { for j = 1 to 2 step 2 { a[i+1][j-1] = a[i][j] - 3 } }",
+		"program p # comment\n// another\narray a[2] of 8\na[1] = (a[0] + 1) * 2 @ 1.5",
+		"program p\n???",
+		"program",
+		"",
+		"program p\narray a[0] of float64",
+		"program p\narray a[4] of float64\nfor i = 0 to 3 { }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+		}
+		if Format(prog2) != text {
+			t.Fatalf("format not a fixed point:\n%q\nvs\n%q", text, Format(prog2))
+		}
+	})
+}
+
+// FuzzAffineEval checks the evaluator against hand-rolled evaluation
+// for generated affine expressions.
+func FuzzAffineEval(f *testing.F) {
+	f.Add(int64(3), int64(-2), int64(7), int64(10), int64(20))
+	f.Fuzz(func(t *testing.T, c, ci, cj, vi, vj int64) {
+		// Keep numbers small enough to avoid overflow noise.
+		c, ci, cj = c%1000, ci%1000, cj%1000
+		vi, vj = vi%10000, vj%10000
+		a := &Affine{Const: c, Terms: []Term{{Var: "i", Coef: ci}, {Var: "j", Coef: cj}}}
+		got, err := a.Eval(Env{"i": vi, "j": vj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c + ci*vi + cj*vj
+		if got != want {
+			t.Fatalf("eval = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestFormatIdempotentOnBenchSources(t *testing.T) {
+	// Formatting stability on larger programs.
+	src := `
+program big
+param N, M, S
+known N = 64
+array A[N][N] of float64
+array b[N] of int64
+array x[64] of float64
+proc f(n, s) {
+    for i = 0 to n-1 {
+        A[i][0] = A[s*i][0] + x[b[i]] @ 9
+    }
+}
+for t = 0 to M-1 {
+    call f(N, S)
+}
+`
+	p1 := MustParse(src)
+	f1 := Format(p1)
+	f2 := Format(MustParse(f1))
+	if f1 != f2 {
+		t.Fatalf("not idempotent:\n%s\nvs\n%s", f1, f2)
+	}
+	if !strings.Contains(f1, "call f(N, S)") {
+		t.Fatalf("format lost the call: %s", f1)
+	}
+}

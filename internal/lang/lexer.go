@@ -1,0 +1,109 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single-character punctuation/operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes the surface syntax. Comments run from "//" or "#" to
+// end of line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: string(l.src[start:l.pos]), line: l.line})
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' ||
+				(l.pos > start && (l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.src[l.pos-1] == 'e')) {
+				l.pos++
+			}
+			text := string(l.src[start:l.pos])
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad number %q", l.line, text)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: text, num: f, line: l.line})
+		default:
+			switch c {
+			case '(', ')', '[', ']', '{', '}', ',', '=', '+', '-', '*', '/', '@':
+				l.toks = append(l.toks, token{kind: tokPunct, text: string(c), line: l.line})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}

@@ -1,0 +1,149 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to surface syntax. Round-tripping
+// through Parse is stable (used by tests), and the compiler's
+// transformed-code printer builds on the same statement rendering.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	if len(p.Params) > 0 {
+		fmt.Fprintf(&b, "param %s\n", strings.Join(p.Params, ", "))
+	}
+	for _, name := range p.Params {
+		if v, ok := p.Known[name]; ok {
+			fmt.Fprintf(&b, "known %s = %d\n", name, v)
+		}
+	}
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%s]", d)
+		}
+		fmt.Fprintf(&b, " of %d\n", a.ElemSize)
+	}
+	for _, pr := range p.Procs {
+		fmt.Fprintf(&b, "proc %s(%s) {\n", pr.Name, strings.Join(pr.Formals, ", "))
+		for _, s := range pr.Body {
+			s.print(&b, 1)
+		}
+		b.WriteString("}\n")
+	}
+	for _, s := range p.Body {
+		s.print(&b, 0)
+	}
+	return b.String()
+}
+
+func ind(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func (l *Loop) print(b *strings.Builder, indent int) {
+	ind(b, indent)
+	fmt.Fprintf(b, "for %s = %s to %s", l.Var, l.Lo, l.Hi)
+	if l.Step != 1 {
+		fmt.Fprintf(b, " step %d", l.Step)
+	}
+	b.WriteString(" {\n")
+	for _, s := range l.Body {
+		s.print(b, indent+1)
+	}
+	ind(b, indent)
+	b.WriteString("}\n")
+}
+
+func (a *Assign) print(b *strings.Builder, indent int) {
+	ind(b, indent)
+	b.WriteString(FormatRef(a.LHS))
+	b.WriteString(" = ")
+	b.WriteString(FormatExpr(a.RHS))
+	if a.CostNS > 0 {
+		fmt.Fprintf(b, " @ %g", a.CostNS)
+	}
+	b.WriteString("\n")
+}
+
+func (c *Call) print(b *strings.Builder, indent int) {
+	ind(b, indent)
+	fmt.Fprintf(b, "call %s(", c.Proc.Name)
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(")\n")
+}
+
+// FormatRef renders an array reference.
+func FormatRef(r *Ref) string {
+	var b strings.Builder
+	b.WriteString(r.Array.Name)
+	for _, idx := range r.Index {
+		b.WriteString("[")
+		b.WriteString(FormatIndex(idx))
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// FormatIndex renders a subscript.
+func FormatIndex(idx Index) string {
+	switch x := idx.(type) {
+	case *Affine:
+		return FormatAffine(x)
+	case *Indirect:
+		return fmt.Sprintf("%s[%s]", x.Array.Name, FormatAffine(x.Idx))
+	default:
+		return "?"
+	}
+}
+
+// FormatAffine renders an affine expression.
+func FormatAffine(a *Affine) string {
+	var parts []string
+	for _, t := range a.Terms {
+		var s string
+		switch {
+		case t.CoefParam != "" && t.Coef == 1:
+			s = fmt.Sprintf("%s*%s", t.CoefParam, t.Var)
+		case t.CoefParam != "":
+			s = fmt.Sprintf("%d*%s*%s", t.Coef, t.CoefParam, t.Var)
+		case t.Coef == 1:
+			s = t.Var
+		case t.Coef == -1:
+			s = "-" + t.Var
+		default:
+			s = fmt.Sprintf("%d*%s", t.Coef, t.Var)
+		}
+		parts = append(parts, s)
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Const))
+	}
+	out := strings.Join(parts, "+")
+	return strings.ReplaceAll(out, "+-", "-")
+}
+
+// FormatExpr renders an RHS expression.
+func FormatExpr(e ExprNode) string {
+	switch n := e.(type) {
+	case *BinOp:
+		return fmt.Sprintf("(%s %c %s)", FormatExpr(n.L), n.Op, FormatExpr(n.R))
+	case *RefExpr:
+		return FormatRef(n.Ref)
+	case *NumExpr:
+		return fmt.Sprintf("%g", n.Val)
+	case *VarExpr:
+		return n.Name
+	default:
+		return "?"
+	}
+}

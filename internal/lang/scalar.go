@@ -1,0 +1,165 @@
+package lang
+
+import "fmt"
+
+// Env binds scalar names (params, loop variables, procedure formals)
+// to values during evaluation and analysis.
+type Env map[string]int64
+
+// Clone returns a copy of the environment.
+func (e Env) Clone() Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// Scalar is an integer-valued expression used in loop bounds and array
+// dimensions: Scale·name + Offset, or a plain constant when Name is
+// empty. This restricted form covers every bound in the paper's
+// benchmarks (N, N-1, n/2, 2*n+1 is out of scope and unneeded).
+type Scalar struct {
+	Name   string
+	Scale  int64
+	Div    int64 // divide after scale: (Scale·name)/Div + Offset; 0 means 1
+	Offset int64
+}
+
+// Const returns a constant Scalar.
+func Const(v int64) Scalar { return Scalar{Offset: v} }
+
+// Sym returns the Scalar for a bare symbol.
+func Sym(name string) Scalar { return Scalar{Name: name, Scale: 1} }
+
+// SymOff returns name + off.
+func SymOff(name string, off int64) Scalar { return Scalar{Name: name, Scale: 1, Offset: off} }
+
+// IsConst reports whether the scalar needs no bindings.
+func (s Scalar) IsConst() bool { return s.Name == "" }
+
+// Eval computes the value under env; unresolved names are an error.
+func (s Scalar) Eval(env Env) (int64, error) {
+	if s.Name == "" {
+		return s.Offset, nil
+	}
+	v, ok := env[s.Name]
+	if !ok {
+		return 0, fmt.Errorf("lang: unbound symbol %q", s.Name)
+	}
+	x := s.Scale * v
+	if s.Div > 1 {
+		x /= s.Div
+	}
+	return x + s.Offset, nil
+}
+
+// TryEval evaluates if possible, reporting success.
+func (s Scalar) TryEval(env Env) (int64, bool) {
+	v, err := s.Eval(env)
+	return v, err == nil
+}
+
+// String renders the scalar.
+func (s Scalar) String() string {
+	if s.Name == "" {
+		return fmt.Sprintf("%d", s.Offset)
+	}
+	out := s.Name
+	if s.Scale != 1 {
+		out = fmt.Sprintf("%d*%s", s.Scale, s.Name)
+	}
+	if s.Div > 1 {
+		out = fmt.Sprintf("%s/%d", out, s.Div)
+	}
+	if s.Offset > 0 {
+		out = fmt.Sprintf("%s+%d", out, s.Offset)
+	} else if s.Offset < 0 {
+		out = fmt.Sprintf("%s-%d", out, -s.Offset)
+	}
+	return out
+}
+
+// Eval computes the affine value under env. Symbolic coefficients
+// multiply the bound parameter value.
+func (a *Affine) Eval(env Env) (int64, error) {
+	v := a.Const
+	for _, t := range a.Terms {
+		x, ok := env[t.Var]
+		if !ok {
+			return 0, fmt.Errorf("lang: unbound variable %q in subscript", t.Var)
+		}
+		c := t.Coef
+		if t.CoefParam != "" {
+			p, ok := env[t.CoefParam]
+			if !ok {
+				return 0, fmt.Errorf("lang: unbound stride parameter %q", t.CoefParam)
+			}
+			c *= p
+		}
+		v += c * x
+	}
+	return v, nil
+}
+
+// CoefOf returns the coefficient of var and whether it is symbolic
+// (unknown to the compiler). A missing term is coefficient zero.
+func (a *Affine) CoefOf(v string) (coef int64, symbolic bool) {
+	for _, t := range a.Terms {
+		if t.Var == v {
+			return t.Coef, t.CoefParam != ""
+		}
+	}
+	return 0, false
+}
+
+// DependsOn reports whether the affine mentions var at all.
+func (a *Affine) DependsOn(v string) bool {
+	for _, t := range a.Terms {
+		if t.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddAffine returns a + b (term lists merged).
+func AddAffine(a, b *Affine) *Affine {
+	out := &Affine{Const: a.Const + b.Const}
+	out.Terms = append(out.Terms, a.Terms...)
+	for _, t := range b.Terms {
+		merged := false
+		for i := range out.Terms {
+			if out.Terms[i].Var == t.Var && out.Terms[i].CoefParam == t.CoefParam {
+				out.Terms[i].Coef += t.Coef
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out.normalize()
+}
+
+// ScaleAffine returns a scaled by constant k.
+func ScaleAffine(a *Affine, k int64) *Affine {
+	out := &Affine{Const: a.Const * k}
+	for _, t := range a.Terms {
+		out.Terms = append(out.Terms, Term{Var: t.Var, Coef: t.Coef * k, CoefParam: t.CoefParam})
+	}
+	return out.normalize()
+}
+
+// normalize drops zero-coefficient terms.
+func (a *Affine) normalize() *Affine {
+	kept := a.Terms[:0]
+	for _, t := range a.Terms {
+		if t.Coef != 0 {
+			kept = append(kept, t)
+		}
+	}
+	a.Terms = kept
+	return a
+}

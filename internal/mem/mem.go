@@ -1,0 +1,282 @@
+// Package mem models physical memory: a fixed pool of page frames and
+// the system free list.
+//
+// The free list preserves the identity of freed pages: a frame freed
+// by the paging daemon or by an explicit release remembers which
+// address space and virtual page it held until the frame is
+// reallocated. A subsequent fault on that virtual page can then
+// "rescue" the frame cheaply instead of reading it back from swap —
+// the mechanism the paper uses to measure how many pages were freed
+// too early (Figure 9). Released pages go to the *tail* of the list,
+// "giving pages that were released too early a chance to be rescued"
+// (§3.1.2), while allocation takes from the head.
+package mem
+
+import (
+	"fmt"
+
+	"memhogs/internal/sim"
+)
+
+// FrameID identifies a physical page frame. NoFrame means "none".
+type FrameID int32
+
+// NoFrame is the sentinel for "no frame".
+const NoFrame FrameID = -1
+
+// Owner is implemented by address spaces so the physical layer can
+// notify the owner when one of its resident pages loses its frame
+// (reallocation of a free-listed frame destroys the old identity).
+type Owner interface {
+	// FrameInvalidated tells the owner that vpn's frame was taken
+	// away for good (the page is no longer rescuable).
+	FrameInvalidated(vpn int)
+	// OwnerName returns a diagnostic name.
+	OwnerName() string
+	// OwnerID returns a small unique id used in stats maps.
+	OwnerID() int
+}
+
+// FreeKind says how a frame got onto the free list, for outcome
+// accounting.
+type FreeKind int8
+
+// Free-list entry origins.
+const (
+	FreedNone    FreeKind = iota // not on free list
+	FreedDaemon                  // stolen by the paging daemon
+	FreedRelease                 // freed by an explicit release
+	FreedExit                    // owner exited / teardown
+)
+
+func (k FreeKind) String() string {
+	switch k {
+	case FreedDaemon:
+		return "daemon"
+	case FreedRelease:
+		return "release"
+	case FreedExit:
+		return "exit"
+	default:
+		return "none"
+	}
+}
+
+// Frame is one physical page frame. Frames form an intrusive doubly
+// linked free list so that free/alloc/rescue are all O(1).
+type Frame struct {
+	ID    FrameID
+	Owner Owner // nil when the frame holds no identifiable page
+	VPN   int   // virtual page number within Owner
+	Dirty bool
+
+	freeKind   FreeKind
+	prev, next FrameID // free-list links, valid when freeKind != FreedNone
+}
+
+// OnFreeList reports whether the frame is currently on the free list.
+func (f *Frame) OnFreeList() bool { return f.freeKind != FreedNone }
+
+// Kind reports how the frame was freed (FreedNone if resident).
+func (f *Frame) Kind() FreeKind { return f.freeKind }
+
+// Stats tracks free-list outcomes for the paper's Figure 9 and
+// Table 3.
+type Stats struct {
+	FreedByDaemon  int64 // frames placed on free list by the paging daemon
+	FreedByRelease int64 // frames placed on free list by explicit release
+	FreedByExit    int64
+	RescuedDaemon  int64 // daemon-freed frames rescued before reallocation
+	RescuedRelease int64 // release-freed frames rescued before reallocation
+	Reallocated    int64 // allocations that destroyed a previous identity
+	Allocations    int64 // total frame allocations
+	AllocWaits     int64 // allocations that had to wait for free memory
+	AllocWaitTime  sim.Time
+}
+
+// Phys is the physical memory pool.
+type Phys struct {
+	sim        *sim.Sim
+	frames     []Frame
+	head, tail FrameID // free list: head = next to allocate
+	nfree      int
+	stats      Stats
+
+	waiters *sim.Waitq
+
+	// NeedMemory, if non-nil, is invoked whenever free memory drops to
+	// or below LowWater or an allocation has to wait. The paging
+	// daemon registers its wake-up here.
+	NeedMemory func()
+
+	// FreeChanged, if non-nil, is invoked after every change to the
+	// free count. The kernel uses it for the threshold-notification
+	// shared-page variant (§3.1.1's unexplored alternative).
+	FreeChanged func(free int)
+
+	// LowWater is the free-frame count at or below which NeedMemory
+	// fires.
+	LowWater int
+}
+
+// New creates a pool of n frames, all initially free with no identity.
+func New(s *sim.Sim, n int) *Phys {
+	if n <= 0 {
+		panic("mem: pool must have at least one frame")
+	}
+	p := &Phys{
+		sim:     s,
+		frames:  make([]Frame, n),
+		head:    NoFrame,
+		tail:    NoFrame,
+		waiters: sim.NewWaitq("phys.alloc"),
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		f.ID = FrameID(i)
+		p.pushTail(f, FreedExit)
+	}
+	// Initial fill is not an interesting statistic.
+	p.stats = Stats{}
+	return p
+}
+
+// NumFrames returns the total number of physical frames.
+func (p *Phys) NumFrames() int { return len(p.frames) }
+
+// FreeCount returns the current length of the free list.
+func (p *Phys) FreeCount() int { return p.nfree }
+
+// Frame returns the frame with the given id.
+func (p *Phys) Frame(id FrameID) *Frame { return &p.frames[id] }
+
+// Stats returns a snapshot of the counters.
+func (p *Phys) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters.
+func (p *Phys) ResetStats() { p.stats = Stats{} }
+
+func (p *Phys) pushTail(f *Frame, kind FreeKind) {
+	f.freeKind = kind
+	f.prev = p.tail
+	f.next = NoFrame
+	if p.tail != NoFrame {
+		p.frames[p.tail].next = f.ID
+	} else {
+		p.head = f.ID
+	}
+	p.tail = f.ID
+	p.nfree++
+}
+
+func (p *Phys) unlink(f *Frame) {
+	if f.prev != NoFrame {
+		p.frames[f.prev].next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != NoFrame {
+		p.frames[f.next].prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.freeKind = FreedNone
+	f.prev, f.next = NoFrame, NoFrame
+	p.nfree--
+}
+
+// Alloc takes the oldest frame from the free list, destroying its old
+// identity (notifying the previous owner). If the free list is empty
+// the calling process blocks until memory is freed; the wait time is
+// returned so the caller can account it as resource stall. proc may be
+// nil only when free frames are known to exist (it panics otherwise).
+func (p *Phys) Alloc(proc *sim.Proc, newOwner Owner, vpn int) (*Frame, sim.Time) {
+	var waited sim.Time
+	for p.nfree == 0 {
+		if proc == nil {
+			panic("mem: Alloc with nil proc would block")
+		}
+		p.stats.AllocWaits++
+		if p.NeedMemory != nil {
+			p.NeedMemory()
+		}
+		start := proc.Now()
+		p.waiters.Wait(proc)
+		waited += proc.Now() - start
+	}
+	p.stats.AllocWaitTime += waited
+	f := &p.frames[p.head]
+	p.unlink(f)
+	if f.Owner != nil {
+		f.Owner.FrameInvalidated(f.VPN)
+		p.stats.Reallocated++
+	}
+	f.Owner = newOwner
+	f.VPN = vpn
+	f.Dirty = false
+	p.stats.Allocations++
+	if p.nfree <= p.LowWater && p.NeedMemory != nil {
+		p.NeedMemory()
+	}
+	if p.FreeChanged != nil {
+		p.FreeChanged(p.nfree)
+	}
+	return f, waited
+}
+
+// TryAlloc allocates a frame only if one is free, without blocking.
+// Used by the prefetch path, which must discard requests rather than
+// steal memory when none is free (§3.1.2).
+func (p *Phys) TryAlloc(newOwner Owner, vpn int) (*Frame, bool) {
+	if p.nfree == 0 {
+		return nil, false
+	}
+	f, _ := p.Alloc(nil, newOwner, vpn)
+	return f, true
+}
+
+// Free places a frame at the tail of the free list, preserving its
+// identity so it can be rescued. kind records who freed it.
+func (p *Phys) Free(f *Frame, kind FreeKind) {
+	if f.OnFreeList() {
+		panic(fmt.Sprintf("mem: double free of frame %d", f.ID))
+	}
+	p.pushTail(f, kind)
+	switch kind {
+	case FreedDaemon:
+		p.stats.FreedByDaemon++
+	case FreedRelease:
+		p.stats.FreedByRelease++
+	case FreedExit:
+		p.stats.FreedByExit++
+	}
+	p.waiters.WakeOne()
+	if p.FreeChanged != nil {
+		p.FreeChanged(p.nfree)
+	}
+}
+
+// Rescue removes a free-listed frame from the free list and returns it
+// to its owner, recording the outcome. The caller must have verified
+// that the identity (owner, vpn) still matches.
+func (p *Phys) Rescue(f *Frame) {
+	switch f.freeKind {
+	case FreedDaemon:
+		p.stats.RescuedDaemon++
+	case FreedRelease:
+		p.stats.RescuedRelease++
+	case FreedExit:
+		// teardown leftovers; not counted
+	case FreedNone:
+		panic(fmt.Sprintf("mem: rescue of non-free frame %d", f.ID))
+	}
+	p.unlink(f)
+}
+
+// DropIdentity clears a free-listed frame's identity without removing
+// it from the free list (used when the owner tears down).
+func (p *Phys) DropIdentity(f *Frame) {
+	f.Owner = nil
+	f.VPN = 0
+	f.Dirty = false
+}

@@ -1,0 +1,219 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memhogs/internal/sim"
+)
+
+type fakeOwner struct {
+	name        string
+	id          int
+	invalidated []int
+}
+
+func (o *fakeOwner) FrameInvalidated(vpn int) { o.invalidated = append(o.invalidated, vpn) }
+func (o *fakeOwner) OwnerName() string        { return o.name }
+func (o *fakeOwner) OwnerID() int             { return o.id }
+
+func TestAllFramesInitiallyFree(t *testing.T) {
+	s := sim.New()
+	p := New(s, 16)
+	if p.FreeCount() != 16 {
+		t.Fatalf("FreeCount = %d, want 16", p.FreeCount())
+	}
+	if p.NumFrames() != 16 {
+		t.Fatalf("NumFrames = %d, want 16", p.NumFrames())
+	}
+}
+
+func TestAllocFIFOFromHead(t *testing.T) {
+	s := sim.New()
+	p := New(s, 4)
+	o := &fakeOwner{name: "o"}
+	f0, _ := p.Alloc(nil, o, 0)
+	f1, _ := p.Alloc(nil, o, 1)
+	if f0.ID != 0 || f1.ID != 1 {
+		t.Fatalf("allocation order %d,%d; want 0,1", f0.ID, f1.ID)
+	}
+	// Free f0, then f1: they go to the tail, so the next alloc takes
+	// frame 2 (still at the head), not the just-freed ones.
+	p.Free(f0, FreedRelease)
+	f2, _ := p.Alloc(nil, o, 2)
+	if f2.ID != 2 {
+		t.Fatalf("expected frame 2 from head, got %d", f2.ID)
+	}
+}
+
+func TestFreePreservesIdentityUntilRealloc(t *testing.T) {
+	s := sim.New()
+	p := New(s, 2)
+	o := &fakeOwner{name: "o"}
+	f, _ := p.Alloc(nil, o, 42)
+	p.Free(f, FreedDaemon)
+	if f.Owner != o || f.VPN != 42 {
+		t.Fatal("identity lost on free")
+	}
+	// Drain the other free frame, then realloc destroys the identity.
+	p.Alloc(nil, o, 1)
+	f2, _ := p.Alloc(nil, o, 99)
+	if f2 != f {
+		t.Fatalf("expected reallocation of frame %d", f.ID)
+	}
+	if len(o.invalidated) != 1 || o.invalidated[0] != 42 {
+		t.Fatalf("owner not notified of invalidation: %v", o.invalidated)
+	}
+}
+
+func TestRescueOutcomeCounting(t *testing.T) {
+	s := sim.New()
+	p := New(s, 4)
+	o := &fakeOwner{name: "o"}
+	fd, _ := p.Alloc(nil, o, 1)
+	fr, _ := p.Alloc(nil, o, 2)
+	p.Free(fd, FreedDaemon)
+	p.Free(fr, FreedRelease)
+	p.Rescue(fd)
+	p.Rescue(fr)
+	st := p.Stats()
+	if st.RescuedDaemon != 1 || st.RescuedRelease != 1 {
+		t.Fatalf("rescue stats = %+v", st)
+	}
+	if st.FreedByDaemon != 1 || st.FreedByRelease != 1 {
+		t.Fatalf("freed stats = %+v", st)
+	}
+	if fd.OnFreeList() || fr.OnFreeList() {
+		t.Fatal("rescued frames still on free list")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	s := sim.New()
+	p := New(s, 2)
+	o := &fakeOwner{name: "o"}
+	f, _ := p.Alloc(nil, o, 0)
+	p.Free(f, FreedRelease)
+	p.Free(f, FreedRelease)
+}
+
+func TestAllocBlocksUntilFree(t *testing.T) {
+	s := sim.New()
+	p := New(s, 1)
+	o := &fakeOwner{name: "o"}
+	f, _ := p.Alloc(nil, o, 0)
+
+	var gotAt sim.Time
+	var waited sim.Time
+	s.Spawn("waiter", func(proc *sim.Proc) {
+		_, w := p.Alloc(proc, o, 1)
+		gotAt = proc.Now()
+		waited = w
+	})
+	s.At(5*sim.Millisecond, func() { p.Free(f, FreedRelease) })
+	s.Run(0)
+	if gotAt != 5*sim.Millisecond {
+		t.Fatalf("alloc completed at %v, want 5ms", gotAt)
+	}
+	if waited != 5*sim.Millisecond {
+		t.Fatalf("reported wait %v, want 5ms", waited)
+	}
+	if p.Stats().AllocWaits != 1 {
+		t.Fatalf("AllocWaits = %d, want 1", p.Stats().AllocWaits)
+	}
+}
+
+func TestNeedMemoryFiresAtLowWater(t *testing.T) {
+	s := sim.New()
+	p := New(s, 4)
+	p.LowWater = 2
+	kicks := 0
+	p.NeedMemory = func() { kicks++ }
+	o := &fakeOwner{name: "o"}
+	p.Alloc(nil, o, 0) // free 3 > 2: no kick
+	if kicks != 0 {
+		t.Fatalf("kicked too early: %d", kicks)
+	}
+	p.Alloc(nil, o, 1) // free 2 <= 2: kick
+	if kicks != 1 {
+		t.Fatalf("kicks = %d, want 1", kicks)
+	}
+}
+
+func TestTryAllocDoesNotBlock(t *testing.T) {
+	s := sim.New()
+	p := New(s, 1)
+	o := &fakeOwner{name: "o"}
+	if _, ok := p.TryAlloc(o, 0); !ok {
+		t.Fatal("TryAlloc failed with a free frame")
+	}
+	if _, ok := p.TryAlloc(o, 1); ok {
+		t.Fatal("TryAlloc succeeded with no free frames")
+	}
+}
+
+// TestFreeListInvariant property-checks that any sequence of
+// alloc/free/rescue operations preserves the free-list invariants:
+// FreeCount matches the number of frames marked free, every resident
+// frame is reachable by its owner, and no frame is lost.
+func TestFreeListInvariant(t *testing.T) {
+	o := &fakeOwner{name: "o"}
+	check := func(ops []uint8) bool {
+		s := sim.New()
+		p := New(s, 8)
+		var held []*Frame
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // alloc
+				if f, ok := p.TryAlloc(o, int(op)); ok {
+					held = append(held, f)
+				}
+			case 1: // free
+				if len(held) > 0 {
+					f := held[len(held)-1]
+					held = held[:len(held)-1]
+					p.Free(f, FreedRelease)
+				}
+			case 2: // rescue the most recently freed frame, if any
+				var newest *Frame
+				for i := 0; i < p.NumFrames(); i++ {
+					f := p.Frame(FrameID(i))
+					if f.OnFreeList() && f.Kind() == FreedRelease {
+						newest = f
+					}
+				}
+				if newest != nil {
+					p.Rescue(newest)
+					held = append(held, newest)
+				}
+			}
+		}
+		// Invariant: held + free = all frames, and the free-list count
+		// matches the per-frame flags.
+		freeFlags := 0
+		for i := 0; i < p.NumFrames(); i++ {
+			if p.Frame(FrameID(i)).OnFreeList() {
+				freeFlags++
+			}
+		}
+		return freeFlags == p.FreeCount() && len(held)+p.FreeCount() == p.NumFrames()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeKindString(t *testing.T) {
+	for k, want := range map[FreeKind]string{
+		FreedNone: "none", FreedDaemon: "daemon", FreedRelease: "release", FreedExit: "exit",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package metrics provides the plain-text table and series formatting
+// used to render the paper's tables and figures from experiment
+// results.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Bar renders a proportional ASCII bar of the given width fraction
+// (0..1 of maxWidth characters).
+func Bar(frac float64, maxWidth int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(maxWidth) + 0.5)
+	return strings.Repeat("#", n)
+}
+
+// StackedBar renders segments proportional to their values against
+// total, using one rune per segment type.
+func StackedBar(values []float64, runes []rune, total float64, maxWidth int) string {
+	if total <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(v / total * float64(maxWidth))
+		r := '?'
+		if i < len(runes) {
+			r = runes[i]
+		}
+		for j := 0; j < n; j++ {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(num, den float64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
+}
+
+// Ratio formats a normalized value like "3.42x".
+func Ratio(num, den float64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", num/den)
+}
+
+// MB formats a byte count in megabytes.
+func MB(bytes int64) string {
+	return fmt.Sprintf("%.1f MB", float64(bytes)/(1<<20))
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("title", "name", "value")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 23456)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// All data lines share the same width for column one.
+	header := lines[1]
+	if !strings.HasPrefix(header, "name") {
+		t.Errorf("header = %q", header)
+	}
+	idx := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "23456")
+	if idx != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx, idx2, out)
+	}
+}
+
+func TestTableNotesAndCounts(t *testing.T) {
+	tbl := NewTable("t", "a")
+	tbl.AddRow("x")
+	tbl.AddNote("note %d", 7)
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if !strings.Contains(tbl.String(), "note 7") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(3.14159)
+	if !strings.Contains(tbl.String(), "3.14") {
+		t.Fatalf("float not formatted: %s", tbl.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####" {
+		t.Errorf("Bar(0.5,10) = %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 10) != "" {
+		t.Error("negative fraction not clamped")
+	}
+	if Bar(2, 4) != "####" {
+		t.Error("overflow not clamped")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out := StackedBar([]float64{50, 50}, []rune{'a', 'b'}, 100, 10)
+	if out != "aaaaabbbbb" {
+		t.Errorf("StackedBar = %q", out)
+	}
+	if StackedBar([]float64{1}, []rune{'a'}, 0, 10) != "" {
+		t.Error("zero total not handled")
+	}
+}
+
+func TestPctRatioMB(t *testing.T) {
+	if Pct(1, 4) != "25.0%" {
+		t.Errorf("Pct = %q", Pct(1, 4))
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Error("Pct zero-den")
+	}
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("Ratio = %q", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "n/a" {
+		t.Error("Ratio zero-den")
+	}
+	if MB(75<<20) != "75.0 MB" {
+		t.Errorf("MB = %q", MB(75<<20))
+	}
+}

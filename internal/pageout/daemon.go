@@ -1,0 +1,311 @@
+// Package pageout implements the two system daemons of the model:
+//
+//   - Daemon, the stock paging daemon ("vhand"): a clock algorithm
+//     over physical frames that simulates reference bits in software
+//     by invalidating mappings on its first pass and stealing pages
+//     whose mapping is still invalid on a later pass. It holds each
+//     address space's memory lock for long, batch-sized stretches,
+//     which is the source of the lock contention the paper measures.
+//   - Releaser, the new daemon added for the PagingDirected policy
+//     module: it frees only pages pre-identified by release requests,
+//     checking first that they have not been referenced again, in
+//     small batches with little per-page work (§3.1.2).
+package pageout
+
+import (
+	"memhogs/internal/disk"
+	"memhogs/internal/mem"
+	"memhogs/internal/sim"
+	"memhogs/internal/vm"
+)
+
+// DaemonConfig parameterizes the paging daemon.
+type DaemonConfig struct {
+	MinFree    int      // wake when free memory falls below this (min_freemem)
+	TargetFree int      // steal until free memory reaches this (desfree)
+	PerPage    sim.Time // CPU cost per frame examined
+	Batch      int      // frames processed per lock hold
+}
+
+// DaemonStats counts paging-daemon activity (Table 3, Figure 8).
+type DaemonStats struct {
+	Activations   int64 // times the daemon had to operate
+	Scanned       int64 // frames examined
+	Invalidations int64 // reference-bit emulation invalidations
+	Stolen        int64 // pages reclaimed
+	Writebacks    int64 // dirty pages written back
+	Trims         int64 // pages stolen for maxrss enforcement
+	Donated       int64 // pages volunteered by reactive donors (§2.2)
+}
+
+// Donor is a cooperating process's victim provider for the *reactive*
+// application-managed replacement scheme the paper discusses (§2.2,
+// the VINO-style approach): when the daemon must reclaim, it first
+// asks donors which of their pages to take. The callback must not
+// block; it returns up to max virtual page numbers.
+type Donor struct {
+	AS   *vm.AS
+	Pick func(max int) []int
+}
+
+// Daemon is the paging daemon.
+type Daemon struct {
+	sim   *sim.Sim
+	phys  *mem.Phys
+	disks *disk.Array
+	cfg   DaemonConfig
+	exec  vm.Exec
+
+	ases   []*vm.AS
+	donors []Donor
+	hand   int
+
+	wake    *sim.Waitq
+	kicked  bool
+	Stats   DaemonStats
+	Enabled bool
+}
+
+// NewDaemon creates the paging daemon; Start must be called with the
+// daemon's execution context before the simulation runs.
+func NewDaemon(s *sim.Sim, phys *mem.Phys, disks *disk.Array, cfg DaemonConfig) *Daemon {
+	d := &Daemon{
+		sim:     s,
+		phys:    phys,
+		disks:   disks,
+		cfg:     cfg,
+		wake:    sim.NewWaitq("pageout.wake"),
+		Enabled: true,
+	}
+	return d
+}
+
+// Register adds an address space to the daemon's scan set.
+func (d *Daemon) Register(as *vm.AS) { d.ases = append(d.ases, as) }
+
+// RegisterDonor adds a reactive victim provider; the daemon consults
+// donors before falling back to its clock.
+func (d *Daemon) RegisterDonor(dn Donor) { d.donors = append(d.donors, dn) }
+
+// Kick asks the daemon to run soon. Safe from any context; it is wired
+// to mem.Phys.NeedMemory.
+func (d *Daemon) Kick() {
+	d.kicked = true
+	d.wake.WakeOne()
+}
+
+// Start launches the daemon process. mk builds the daemon's execution
+// context (CPU accounting) from its simulated process.
+func (d *Daemon) Start(mk func(*sim.Proc) vm.Exec) {
+	d.sim.Spawn("pageoutd", func(p *sim.Proc) {
+		d.exec = mk(p)
+		d.loop(p)
+	})
+}
+
+func (d *Daemon) needed() bool {
+	if !d.Enabled {
+		return false
+	}
+	if d.phys.FreeCount() < d.cfg.MinFree {
+		return true
+	}
+	for _, as := range d.ases {
+		if as.Resident > as.MaxRSS {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Daemon) loop(p *sim.Proc) {
+	for {
+		for !d.needed() {
+			d.kicked = false
+			d.wake.Wait(p)
+			if d.needed() {
+				break
+			}
+		}
+		d.kicked = false
+		d.Stats.Activations++
+		d.scan(p)
+	}
+}
+
+// scan steals pages until free memory reaches the target or the clock
+// has swept all frames twice (one invalidate pass plus one steal
+// pass). Reactive donors are consulted first: pages they volunteer
+// spare the clock (and everyone else's pages).
+func (d *Daemon) scan(p *sim.Proc) {
+	d.askDonors(p)
+	limit := 2 * d.phys.NumFrames()
+	scanned := 0
+	for d.phys.FreeCount() < d.cfg.TargetFree && scanned < limit {
+		n := d.scanBatch(p)
+		scanned += n
+		if n == 0 {
+			break
+		}
+	}
+	d.trimMaxRSS(p)
+}
+
+// askDonors implements the reactive §2.2 scheme: collect volunteered
+// victims from cooperating processes and reclaim exactly those.
+func (d *Daemon) askDonors(p *sim.Proc) {
+	for _, dn := range d.donors {
+		need := d.cfg.TargetFree - d.phys.FreeCount()
+		if need <= 0 {
+			return
+		}
+		vpns := dn.Pick(need)
+		if len(vpns) == 0 {
+			continue
+		}
+		dn.AS.Memlock.Acquire(p)
+		for _, vpn := range vpns {
+			d.exec.System(d.cfg.PerPage)
+			dn.AS.InvalidateForRelease(vpn)
+			freed, dirty := dn.AS.TryReclaim(vpn, mem.FreedRelease)
+			if !freed {
+				continue
+			}
+			d.Stats.Donated++
+			if dirty {
+				d.Stats.Writebacks++
+				dn.AS.Stats.Writebacks++
+				d.disks.Submit(dn.AS.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
+			}
+		}
+		dn.AS.Memlock.Release(p)
+	}
+}
+
+// scanBatch advances the clock hand over up to Batch frames of a
+// single address space, holding that space's memory lock for the whole
+// batch (the long lock holds that inflate fault service times in the
+// paper).
+func (d *Daemon) scanBatch(p *sim.Proc) int {
+	nf := d.phys.NumFrames()
+	// Find the first scannable frame.
+	var as *vm.AS
+	start := d.hand
+	for i := 0; i < nf; i++ {
+		f := d.phys.Frame(mem.FrameID((start + i) % nf))
+		if f.OnFreeList() || f.Owner == nil {
+			continue
+		}
+		if a, ok := f.Owner.(*vm.AS); ok {
+			as = a
+			d.hand = (start + i) % nf
+			break
+		}
+	}
+	if as == nil {
+		return 1 // nothing scannable; count progress to avoid spinning
+	}
+
+	as.Memlock.Acquire(p)
+	processed := 0
+	for processed < d.cfg.Batch {
+		f := d.phys.Frame(mem.FrameID(d.hand))
+		d.hand = (d.hand + 1) % nf
+		processed++
+		if f.OnFreeList() || f.Owner == nil {
+			continue
+		}
+		fas, ok := f.Owner.(*vm.AS)
+		if !ok || fas != as {
+			// Crossed into another address space; end the batch so the
+			// next batch takes that space's lock.
+			d.hand = (d.hand - 1 + nf) % nf
+			processed--
+			break
+		}
+		d.Stats.Scanned++
+		d.exec.System(d.cfg.PerPage)
+		vpn := f.VPN
+		pte := as.PTE(vpn)
+		if pte.Busy {
+			continue
+		}
+		if pte.Valid {
+			// First pass over this page: clear the simulated
+			// reference bit. A process still using the page will take
+			// a soft fault to revalidate it.
+			as.ClearValid(vpn, vm.InvalidDaemon)
+			d.Stats.Invalidations++
+			continue
+		}
+		if pte.Why != vm.InvalidDaemon {
+			// Invalid for another reason (e.g. prefetched, not yet
+			// referenced): start its clock instead of stealing it
+			// outright.
+			as.MarkClockCandidate(vpn)
+			d.Stats.Invalidations++
+			continue
+		}
+		// Still invalid since the last pass: steal it.
+		freed, dirty := as.TryReclaim(vpn, mem.FreedDaemon)
+		if freed {
+			d.Stats.Stolen++
+			if dirty {
+				d.Stats.Writebacks++
+				as.Stats.Writebacks++
+				d.disks.Submit(as.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
+			}
+			if d.phys.FreeCount() >= d.cfg.TargetFree {
+				break
+			}
+		}
+	}
+	as.Memlock.Release(p)
+	if processed == 0 {
+		return 1
+	}
+	return processed
+}
+
+// trimMaxRSS enforces per-process resident-set limits (IRIX maxrss):
+// processes above their limit are trimmed with the same
+// invalidate-then-steal discipline, scoped to one address space.
+func (d *Daemon) trimMaxRSS(p *sim.Proc) {
+	for _, as := range d.ases {
+		if as.Resident <= as.MaxRSS {
+			continue
+		}
+		d.Stats.Activations++
+		as.Memlock.Acquire(p)
+		n := as.NumPages()
+		for vpn := 0; vpn < n && as.Resident > as.MaxRSS; vpn++ {
+			pte := as.PTE(vpn)
+			if !pte.Present || pte.Busy {
+				continue
+			}
+			d.exec.System(d.cfg.PerPage)
+			d.Stats.Scanned++
+			if pte.Valid {
+				as.ClearValid(vpn, vm.InvalidDaemon)
+				d.Stats.Invalidations++
+				continue
+			}
+			if pte.Why != vm.InvalidDaemon {
+				as.MarkClockCandidate(vpn)
+				d.Stats.Invalidations++
+				continue
+			}
+			freed, dirty := as.TryReclaim(vpn, mem.FreedDaemon)
+			if freed {
+				d.Stats.Stolen++
+				d.Stats.Trims++
+				if dirty {
+					d.Stats.Writebacks++
+					as.Stats.Writebacks++
+					d.disks.Submit(as.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
+				}
+			}
+		}
+		as.Memlock.Release(p)
+	}
+}

@@ -1,0 +1,133 @@
+package pageout
+
+import (
+	"memhogs/internal/disk"
+	"memhogs/internal/mem"
+	"memhogs/internal/sim"
+	"memhogs/internal/vm"
+)
+
+// ReleaserConfig parameterizes the releaser daemon.
+type ReleaserConfig struct {
+	PerPage sim.Time // CPU per page; smaller than the paging daemon's
+	Batch   int      // pages per lock hold; smaller than the daemon's
+}
+
+// ReleaserStats counts releaser activity.
+type ReleaserStats struct {
+	Requests       int64 // release requests dequeued
+	PagesRequested int64
+	Freed          int64
+	SkippedRef     int64 // page referenced again since the request
+	SkippedGone    int64 // page no longer resident
+	Writebacks     int64
+}
+
+// releaseReq is one queued request from the PagingDirected PM.
+type releaseReq struct {
+	as   *vm.AS
+	vpns []int
+}
+
+// Releaser is the system releasing daemon: it "functions similarly to
+// the paging daemon, but is specialized to reclaim only the pages
+// indicated by the application" (§3.1.2). It holds address-space locks
+// for much shorter periods and does less work per page.
+type Releaser struct {
+	sim   *sim.Sim
+	disks *disk.Array
+	cfg   ReleaserConfig
+	exec  vm.Exec
+
+	queue []releaseReq
+	wake  *sim.Waitq
+
+	Stats ReleaserStats
+}
+
+// NewReleaser creates the releaser; Start must be called before the
+// simulation runs.
+func NewReleaser(s *sim.Sim, disks *disk.Array, cfg ReleaserConfig) *Releaser {
+	return &Releaser{
+		sim:   s,
+		disks: disks,
+		cfg:   cfg,
+		wake:  sim.NewWaitq("releaser.wake"),
+	}
+}
+
+// Start launches the releaser process. mk builds the releaser's
+// execution context (CPU accounting) from its simulated process.
+func (r *Releaser) Start(mk func(*sim.Proc) vm.Exec) {
+	r.sim.Spawn("releaserd", func(p *sim.Proc) {
+		r.exec = mk(p)
+		r.loop(p)
+	})
+}
+
+// Enqueue adds a release request to the work queue. The PM has already
+// cleared the shared-page bits and invalidated the mappings.
+func (r *Releaser) Enqueue(as *vm.AS, vpns []int) {
+	r.queue = append(r.queue, releaseReq{as: as, vpns: vpns})
+	r.wake.WakeOne()
+}
+
+// QueueLen reports pending requests (for tests and back-pressure
+// diagnostics).
+func (r *Releaser) QueueLen() int { return len(r.queue) }
+
+func (r *Releaser) loop(p *sim.Proc) {
+	for {
+		for len(r.queue) == 0 {
+			r.wake.Wait(p)
+		}
+		req := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+		r.Stats.Requests++
+		r.Stats.PagesRequested += int64(len(req.vpns))
+		r.handle(p, req)
+	}
+}
+
+// handle frees the requested pages in small batches, holding the
+// address-space lock only across each batch.
+func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
+	vpns := req.vpns
+	for len(vpns) > 0 {
+		n := r.cfg.Batch
+		if n > len(vpns) {
+			n = len(vpns)
+		}
+		batch := vpns[:n]
+		vpns = vpns[n:]
+
+		req.as.Memlock.Acquire(p)
+		for _, vpn := range batch {
+			r.exec.System(r.cfg.PerPage)
+			pte := req.as.PTE(vpn)
+			if !pte.Present || pte.Busy {
+				r.Stats.SkippedGone++
+				continue
+			}
+			if pte.Valid {
+				// "first checking the bit vector to make sure that
+				// the pages have not been referenced again (either by
+				// a prefetch or a real reference) since the time of
+				// the request".
+				r.Stats.SkippedRef++
+				continue
+			}
+			freed, dirty := req.as.TryReclaim(vpn, mem.FreedRelease)
+			if freed {
+				r.Stats.Freed++
+				if dirty {
+					r.Stats.Writebacks++
+					req.as.Stats.Writebacks++
+					r.disks.Submit(req.as.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
+				}
+			}
+		}
+		req.as.Memlock.Release(p)
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+// Rand is a small deterministic pseudo-random generator
+// (xorshift64star). Every stochastic component of the model owns its
+// own Rand seeded from the run configuration, so that runs are
+// reproducible and components do not perturb each other's streams.
+type Rand struct{ state uint64 }
+
+// NewRand creates a generator from a non-zero seed; a zero seed is
+// replaced with a fixed constant.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a pseudo-random Time in [lo, hi).
+func (r *Rand) Duration(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Uint64()%uint64(hi-lo))
+}
+
+// Hash64 is a deterministic stateless mixer used to derive data values
+// (e.g. BUK's random keys) from indices without storing arrays.
+func Hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine models virtual time at nanosecond resolution and runs
+// simulated processes as goroutines that execute one at a time: the
+// event loop hands control to exactly one process goroutine and waits
+// for it to block again before dispatching the next event. Together
+// with FIFO tie-breaking on simultaneous events this makes every run
+// fully deterministic, which the experiment harness relies on.
+//
+// The rest of the system (disks, daemons, workloads) is built from
+// three primitives defined here: timed events, parkable processes, and
+// wait queues (from which locks and semaphores are derived).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Convenient durations expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time with a unit suited to its magnitude.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// event is a scheduled occurrence: either a plain callback run inside
+// the event loop, or the resumption of a parked process.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-breaker for simultaneous events
+	fn   func()
+	proc *Proc
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; use
+// New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // process goroutine -> event loop handoff
+	current *Proc         // process currently executing, nil in event loop
+	nprocs  int           // live (spawned, not finished) processes
+	stopped bool
+}
+
+// New creates an empty simulator positioned at time zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run inside the event loop at time t. Scheduling
+// in the past is an error in the caller; it is clamped to now so the
+// simulation never moves backwards.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// scheduleResume enqueues the resumption of p at time t.
+func (s *Sim) scheduleResume(p *Proc, t Time) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, proc: p})
+}
+
+// Stop makes Run return after the current event completes. Pending
+// events remain queued; Run may be called again to continue.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, the horizon passes, or
+// Stop is called. A zero horizon means "run until idle". It returns
+// the virtual time at which it stopped.
+func (s *Sim) Run(horizon Time) Time {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		ev := s.events[0]
+		if horizon > 0 && ev.at > horizon {
+			s.now = horizon
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.at
+		if ev.proc != nil {
+			s.dispatch(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	return s.now
+}
+
+// dispatch hands control to p's goroutine and blocks until it parks
+// again or finishes.
+func (s *Sim) dispatch(p *Proc) {
+	if p.finished {
+		return
+	}
+	s.current = p
+	p.resume <- struct{}{}
+	<-s.yield
+	s.current = nil
+}
+
+// Current returns the process whose goroutine is executing, or nil if
+// control is inside the event loop.
+func (s *Sim) Current() *Proc { return s.current }
+
+// Idle reports whether no events remain.
+func (s *Sim) Idle() bool { return len(s.events) == 0 }
+
+// LiveProcs returns the number of spawned processes that have not yet
+// finished. Useful for detecting deadlock in tests.
+func (s *Sim) LiveProcs() int { return s.nprocs }

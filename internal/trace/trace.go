@@ -1,0 +1,146 @@
+// Package trace records the time evolution of the memory system —
+// free pages, per-process resident sets, cumulative daemon and
+// releaser activity — and renders it as an ASCII timeline. The paper's
+// story is about dynamics (the hog sweeping memory, the daemon
+// reacting, releases keeping the pool stocked); the timeline makes
+// those dynamics visible for any run.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/kernel"
+	"memhogs/internal/sim"
+)
+
+// Sample is one point in time.
+type Sample struct {
+	At        sim.Time
+	FreePages int
+	Resident  []int // parallel to Recorder.Names
+	Stolen    int64 // cumulative pages stolen by the paging daemon
+	Released  int64 // cumulative pages freed by the releaser
+}
+
+// Recorder samples a system at a fixed virtual interval.
+type Recorder struct {
+	sys      *kernel.System
+	interval sim.Time
+	stopped  bool
+
+	Names   []string
+	Samples []Sample
+}
+
+// Attach starts sampling sys every interval of virtual time. Sampling
+// stops when Stop is called or the simulation ends (a pending sample
+// event never blocks Sim.Stop).
+func Attach(sys *kernel.System, interval sim.Time) *Recorder {
+	if interval <= 0 {
+		interval = 100 * sim.Millisecond
+	}
+	r := &Recorder{sys: sys, interval: interval}
+	r.arm()
+	return r
+}
+
+// Stop ends sampling.
+func (r *Recorder) Stop() { r.stopped = true }
+
+func (r *Recorder) arm() {
+	r.sys.Sim.After(r.interval, func() {
+		if r.stopped {
+			return
+		}
+		r.sample()
+		r.arm()
+	})
+}
+
+func (r *Recorder) sample() {
+	procs := r.sys.Procs()
+	if len(r.Names) != len(procs) {
+		r.Names = r.Names[:0]
+		for _, p := range procs {
+			r.Names = append(r.Names, p.Name)
+		}
+	}
+	s := Sample{
+		At:        r.sys.Now(),
+		FreePages: r.sys.Phys.FreeCount(),
+		Stolen:    r.sys.Daemon.Stats.Stolen,
+		Released:  r.sys.Releaser.Stats.Freed,
+	}
+	for _, p := range procs {
+		s.Resident = append(s.Resident, p.AS.Resident)
+	}
+	r.Samples = append(r.Samples, s)
+}
+
+// gauge renders v against max as a fixed-width bar.
+func gauge(v, max, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := v * width / max
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Render draws the timeline: one row per sample, a bar for free
+// memory, one for each process's resident set, and the cumulative
+// daemon/releaser counters.
+func (r *Recorder) Render(maxRows int) string {
+	var b strings.Builder
+	total := r.sys.Phys.NumFrames()
+	fmt.Fprintf(&b, "memory timeline (%d frames", total)
+	for _, n := range r.Names {
+		fmt.Fprintf(&b, "; resident[%s]", n)
+	}
+	b.WriteString("; cumulative stolen/released)\n")
+
+	samples := r.Samples
+	stride := 1
+	if maxRows > 0 && len(samples) > maxRows {
+		stride = (len(samples) + maxRows - 1) / maxRows
+	}
+	const width = 24
+	for i := 0; i < len(samples); i += stride {
+		s := samples[i]
+		fmt.Fprintf(&b, "%9s  free %s %4d", s.At, gauge(s.FreePages, total, width), s.FreePages)
+		for j := range s.Resident {
+			name := "?"
+			if j < len(r.Names) {
+				name = r.Names[j]
+			}
+			fmt.Fprintf(&b, "  %s %s %4d", name, gauge(s.Resident[j], total, width), s.Resident[j])
+		}
+		fmt.Fprintf(&b, "  stolen %6d  released %6d\n", s.Stolen, s.Released)
+	}
+	return b.String()
+}
+
+// Summary reports extremes over the run.
+func (r *Recorder) Summary() string {
+	if len(r.Samples) == 0 {
+		return "no samples"
+	}
+	minFree, maxFree := r.Samples[0].FreePages, r.Samples[0].FreePages
+	for _, s := range r.Samples {
+		if s.FreePages < minFree {
+			minFree = s.FreePages
+		}
+		if s.FreePages > maxFree {
+			maxFree = s.FreePages
+		}
+	}
+	last := r.Samples[len(r.Samples)-1]
+	return fmt.Sprintf("samples %d, free %d-%d pages, stolen %d, released %d",
+		len(r.Samples), minFree, maxFree, last.Stolen, last.Released)
+}

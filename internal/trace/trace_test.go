@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"memhogs/internal/kernel"
+	"memhogs/internal/sim"
+)
+
+func TestRecorderSamples(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	p := sys.NewProcess("app", 64)
+	rec := Attach(sys, 10*sim.Millisecond)
+	p.Start(false, func(th *kernel.Thread) {
+		for vpn := 0; vpn < 32; vpn++ {
+			th.Touch(vpn, false)
+			th.User(5 * sim.Millisecond)
+		}
+	})
+	sys.Run(500 * sim.Millisecond)
+	if len(rec.Samples) < 10 {
+		t.Fatalf("samples = %d, want >= 10", len(rec.Samples))
+	}
+	// Free memory must shrink as the app faults pages in.
+	first, last := rec.Samples[0], rec.Samples[len(rec.Samples)-1]
+	if last.FreePages >= first.FreePages {
+		t.Fatalf("free did not shrink: %d -> %d", first.FreePages, last.FreePages)
+	}
+	// Resident set of the app must grow.
+	if len(last.Resident) == 0 || last.Resident[0] <= first.Resident[0] {
+		t.Fatalf("resident did not grow: %v -> %v", first.Resident, last.Resident)
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	p := sys.NewProcess("app", 32)
+	rec := Attach(sys, 5*sim.Millisecond)
+	p.Start(false, func(th *kernel.Thread) {
+		for vpn := 0; vpn < 8; vpn++ {
+			th.Touch(vpn, false)
+		}
+	})
+	sys.Run(100 * sim.Millisecond)
+	out := rec.Render(10)
+	if !strings.Contains(out, "free") || !strings.Contains(out, "app") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines > 12 {
+		t.Fatalf("render did not downsample: %d lines", lines)
+	}
+	if !strings.Contains(rec.Summary(), "samples") {
+		t.Fatalf("summary malformed: %s", rec.Summary())
+	}
+}
+
+func TestStopEndsSampling(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	rec := Attach(sys, sim.Millisecond)
+	sys.Run(10 * sim.Millisecond)
+	n := len(rec.Samples)
+	rec.Stop()
+	sys.Run(20 * sim.Millisecond)
+	if len(rec.Samples) > n+1 {
+		t.Fatalf("samples kept accumulating after Stop: %d -> %d", n, len(rec.Samples))
+	}
+}
+
+func TestGaugeClamps(t *testing.T) {
+	if gauge(5, 10, 10) != "#####....." {
+		t.Errorf("gauge(5,10,10) = %q", gauge(5, 10, 10))
+	}
+	if gauge(100, 10, 4) != "####" {
+		t.Error("overflow not clamped")
+	}
+	if gauge(-1, 10, 4) != "...." {
+		t.Error("negative not clamped")
+	}
+	if gauge(1, 0, 4) == "" {
+		t.Error("zero max not handled")
+	}
+}

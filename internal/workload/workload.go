@@ -1,0 +1,352 @@
+// Package workload defines the paper's benchmark programs (Table 2) in
+// the loop-nest language, each reproducing the access-pattern
+// pathology the paper attributes to it, plus scaled-down variants for
+// fast tests on the small test machine.
+//
+// The NAS benchmarks are re-expressed at the level the compiler
+// analysis cares about: loop structure, array reference patterns, and
+// per-iteration computation cost. Data-set sizes are chosen so each
+// program is out-of-core on its machine (the paper likewise grew the
+// NAS data sets beyond memory).
+package workload
+
+import (
+	"fmt"
+
+	"memhogs/internal/lang"
+	"memhogs/internal/sim"
+)
+
+// Spec is one out-of-core benchmark.
+type Spec struct {
+	Name        string
+	Description string // Table 2 text
+	Pattern     string // Table 2 access-pattern text
+	Source      string // loop-language source
+
+	// Params are the runtime bindings (for params not known at compile
+	// time).
+	Params map[string]int64
+
+	// DataGens builds the value generators for indirection arrays,
+	// given the runtime bindings.
+	DataGens func(p map[string]int64) map[string]func(int64) int64
+}
+
+// Program parses the source and attaches the data generators for the
+// given bindings (nil = the spec's own Params).
+func (s *Spec) Program(params map[string]int64) *lang.Program {
+	if params == nil {
+		params = s.Params
+	}
+	prog := lang.MustParse(s.Source)
+	if s.DataGens != nil {
+		for name, fn := range s.DataGens(params) {
+			prog.SetData(name, fn)
+		}
+	}
+	return prog
+}
+
+// ByName returns the full-size spec with the given (lower-case) name.
+func ByName(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// All returns the six full-size benchmarks in the paper's order
+// (sized for the 75 MB platform).
+func All() []*Spec {
+	return []*Spec{Matvec(), Embar(), Buk(), Cgm(), Mgrid(), Fftpde()}
+}
+
+// AllScaled returns small variants sized for the 4 MB test machine.
+func AllScaled() []*Spec {
+	return []*Spec{MatvecScaled(), EmbarScaled(), BukScaled(), CgmScaled(), MgridScaled(), FftpdeScaled()}
+}
+
+// ScaledByName returns the scaled variant with the given name.
+func ScaledByName(name string) (*Spec, error) {
+	for _, s := range AllScaled() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Matvec is the matrix-vector multiplication kernel: the matrix is
+// streamed with no reuse while the vector is reused on every row.
+// Aggressive releasing frees the vector each row and fights the
+// application for it; buffering retains it (its release priority is
+// non-zero), which is the paper's headline R-vs-B contrast. Bounds are
+// known at compile time, so the analysis is "essentially perfect".
+func Matvec() *Spec { return matvec(3200, 16384) } // A = 400 MB
+
+// MatvecScaled shrinks the matrix to ~6 MB.
+func MatvecScaled() *Spec { return matvec(96, 8192) }
+
+func matvec(n, m int64) *Spec {
+	return &Spec{
+		Name:        "matvec",
+		Description: "dense matrix-vector multiplication kernel",
+		Pattern:     "multi-dimensional loops with known bounds; matrix streamed, vector reused per row",
+		Source: fmt.Sprintf(`
+program matvec
+param N, M
+known N = %d
+known M = %d
+array A[N][M] of float64
+array x[M] of float64
+array y[N] of float64
+for i = 0 to N-1 {
+    for j = 0 to M-1 {
+        y[i] = y[i] + A[i][j] * x[j] @ 100
+    }
+}
+`, n, m),
+		Params: map[string]int64{},
+	}
+}
+
+// Embar is the embarrassingly-parallel NAS kernel: one-dimensional
+// loops over a sequential out-of-core array with heavy per-element
+// computation (gaussian-pair generation) and no temporal reuse — the
+// compiler analysis is essentially perfect and all releases have
+// priority zero, so R and B behave identically.
+func Embar() *Spec { return embar(20971520) } // 160 MB
+
+// EmbarScaled shrinks the array to 8 MB.
+func EmbarScaled() *Spec { return embar(1048576) }
+
+func embar(n int64) *Spec {
+	return &Spec{
+		Name:        "embar",
+		Description: "NAS EP: gaussian random pair generation and tallying",
+		Pattern:     "one-dimensional loops, sequential, no reuse",
+		Source: fmt.Sprintf(`
+program embar
+param N
+known N = %d
+array xs[N] of float64
+array q[2048] of float64
+for i = 0 to N-1 {
+    xs[i] = xs[i] * 2 + 1 @ 900
+}
+for i = 0 to N-1 {
+    q[0] = q[0] + xs[i] @ 250
+}
+`, n),
+		Params: map[string]int64{},
+	}
+}
+
+// Buk is the NAS integer bucket sort: two large sequentially-accessed
+// arrays and an equally large randomly-accessed rank array reached
+// through an indirection. The compiler releases the sequential arrays
+// but cannot reason about the random one, which therefore stays mostly
+// in memory — improving on the OS's uniform replacement (§4.3). Loop
+// bounds are unknown at compile time.
+func Buk() *Spec { return buk(4<<20, 2) } // 3 x 32 MB
+
+// BukScaled shrinks the arrays to 3 x 2 MB.
+func BukScaled() *Spec { return buk(256<<10, 2) }
+
+func buk(maxn, reps int64) *Spec {
+	return &Spec{
+		Name:        "buk",
+		Description: "NAS IS: bucket (counting) sort with random ranking array",
+		Pattern:     "unknown loop bounds; two sequential arrays plus one randomly-indexed array",
+		Source: fmt.Sprintf(`
+program buk
+param N, REPS
+array key[%d] of int64
+array keyout[%d] of int64
+array rank[%d] of int64
+proc rankpass() {
+    for i = 0 to N-1 {
+        rank[key[i]] = rank[key[i]] + 1 @ 40
+    }
+}
+proc copypass() {
+    for i = 0 to N-1 {
+        keyout[i] = key[i] @ 25
+    }
+}
+for rep = 0 to REPS-1 {
+    call rankpass()
+    call copypass()
+}
+`, maxn, maxn, maxn),
+		Params: map[string]int64{"N": maxn, "REPS": reps},
+		DataGens: func(p map[string]int64) map[string]func(int64) int64 {
+			n := p["N"]
+			return map[string]func(int64) int64{
+				"key": func(i int64) int64 { return int64(sim.Hash64(uint64(i)) % uint64(n)) },
+			}
+		},
+	}
+}
+
+// Cgm is the NAS conjugate-gradient kernel: a sparse matrix-vector
+// product with indirect column references and unknown inner-loop
+// bounds. The compiler emits per-iteration prefetches for the indirect
+// references and per-row hint streams that the run-time layer must
+// filter, visibly inflating user time (§4.3). The matrix is re-read on
+// every CG iteration — reuse the compiler sees but cannot exploit.
+func Cgm() *Spec { return cgm(192<<10, 3) } // ~82 MB total
+
+// CgmScaled shrinks the matrix to ~4.7 MB.
+func CgmScaled() *Spec { return cgm(12<<10, 2) }
+
+func cgm(rows, niter int64) *Spec {
+	nnz := rows * 32
+	return &Spec{
+		Name:        "cgm",
+		Description: "NAS CG: sparse conjugate gradient iterations",
+		Pattern:     "unknown inner-loop bounds; indirect column references; matrix re-read each iteration",
+		Source: fmt.Sprintf(`
+program cgm
+param NR, RNZ, NITER
+array aval[%d] of float64
+array acol[%d] of int32
+array p[%d] of float64
+array q[%d] of float64
+array r[%d] of float64
+proc spmv() {
+    for row = 0 to NR-1 {
+        for k = 0 to RNZ-1 {
+            q[row] = q[row] + aval[32*row+k] * p[acol[32*row+k]] @ 60
+        }
+    }
+}
+proc vecupdate() {
+    for row = 0 to NR-1 {
+        p[row] = p[row] + q[row] - r[row] @ 30
+    }
+}
+for it = 0 to NITER-1 {
+    call spmv()
+    call vecupdate()
+}
+`, nnz, nnz, rows, rows, rows),
+		Params: map[string]int64{"NR": rows, "RNZ": 32, "NITER": niter},
+		DataGens: func(p map[string]int64) map[string]func(int64) int64 {
+			nr := p["NR"]
+			return map[string]func(int64) int64{
+				"acol": func(i int64) int64 {
+					// Banded-ish sparse structure: columns near the
+					// row with occasional far entries.
+					row := i / 32
+					h := sim.Hash64(uint64(i))
+					if h%4 == 0 {
+						return int64(h>>8) % nr
+					}
+					off := int64(h%4096) - 2048
+					c := row + off
+					if c < 0 {
+						c += nr
+					}
+					return c % nr
+				},
+			}
+		},
+	}
+}
+
+// Mgrid is the NAS multigrid kernel: the same smoothing/residual
+// procedures are called with different bounds at different grid levels
+// (a single compiled version of each), and each V-cycle pass re-reads
+// what the previous pass just released — inter-nest reuse the compiler
+// cannot see. Much of the freeing is left to the paging daemon and
+// many released pages must be rescued (Figure 9).
+func Mgrid() *Spec { return mgrid(192, 190, 60, 2) } // 3 x 56.6 MB
+
+// MgridScaled shrinks the grids to 3 x 2 MB.
+func MgridScaled() *Spec { return mgrid(64, 62, 20, 2) }
+
+func mgrid(dim, nf, nc, nit int64) *Spec {
+	return &Spec{
+		Name:        "mgrid",
+		Description: "NAS MG: multigrid V-cycles over a 3-D grid",
+		Pattern:     "multi-dimensional loops with unknown, per-call bounds (single compiled version)",
+		Source: fmt.Sprintf(`
+program mgrid
+param NF, NC, NIT
+array u[%d][%d][%d] of float64
+array v[%d][%d][%d] of float64
+array r[%d][%d][%d] of float64
+proc resid(n) {
+    for i0 = 1 to n-1 {
+        for i1 = 1 to n-1 {
+            for i2 = 1 to n-1 {
+                r[i0][i1][i2] = v[i0][i1][i2] - u[i0][i1][i2] - u[i0-1][i1][i2] - u[i0+1][i1][i2] @ 250
+            }
+        }
+    }
+}
+proc psinv(n) {
+    for i0 = 1 to n-1 {
+        for i1 = 1 to n-1 {
+            for i2 = 1 to n-1 {
+                u[i0][i1][i2] = u[i0][i1][i2] + r[i0][i1][i2] + r[i0-1][i1][i2] + r[i0+1][i1][i2] @ 250
+            }
+        }
+    }
+}
+for it = 0 to NIT-1 {
+    call resid(NF)
+    call psinv(NF)
+    call resid(NC)
+    call psinv(NC)
+    call psinv(NF)
+}
+`, dim, dim, dim, dim, dim, dim, dim, dim, dim),
+		Params: map[string]int64{"NF": nf, "NC": nc, "NIT": nit},
+	}
+}
+
+// Fftpde is the NAS 3-D FFT PDE solver: butterfly passes whose access
+// stride is a runtime parameter that changes between passes. The
+// symbolic stride makes the subscript look independent of the block
+// loop variable, so the compiler wrongly attributes temporal reuse to
+// it: every release carries a non-zero priority, and the buffering
+// run-time layer retains pages that will never be reused — FFTPDE-B
+// "fails to release enough memory" (§4.5).
+func Fftpde() *Spec { return fftpde(8<<20, 2) } // 128 MB
+
+// FftpdeScaled shrinks the array to 8 MB.
+func FftpdeScaled() *Spec { return fftpde(512<<10, 1) }
+
+func fftpde(nx, nit int64) *Spec {
+	return &Spec{
+		Name:        "fftpde",
+		Description: "NAS FT: 3-D FFT with per-pass stride changes",
+		Pattern:     "stride changes within a loop set (symbolic strides); false temporal reuse",
+		Source: fmt.Sprintf(`
+program fftpde
+param S1, NB1, M1, S2, NB2, M2, NIT
+array x[%d] of complex128
+proc pass(s, nb, m) {
+    for b = 0 to nb-1 {
+        for k = 0 to m-1 {
+            x[s*b+k] = x[s*b+k] * 2 + 1 @ 130
+        }
+    }
+}
+for it = 0 to NIT-1 {
+    call pass(S1, NB1, M1)
+    call pass(S2, NB2, M2)
+}
+`, nx),
+		Params: map[string]int64{
+			"S1": 4096, "NB1": nx / 4096, "M1": 4096,
+			"S2": 64, "NB2": nx / 64, "M2": 64,
+			"NIT": nit,
+		},
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"testing"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/kernel"
+	"memhogs/internal/lang"
+)
+
+func TestAllSpecsParseAndCompile(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			prog := spec.Program(nil)
+			comp, err := compiler.Compile(prog, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := comp.Bind(spec.Params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every full-size benchmark must be out-of-core on the
+			// 75 MB platform.
+			if img.TotalPages <= cfg.UserMemPages {
+				t.Errorf("%s: %d pages fits in %d-page memory (not out-of-core)",
+					spec.Name, img.TotalPages, cfg.UserMemPages)
+			}
+		})
+	}
+}
+
+func TestScaledSpecsAreOutOfCoreOnTestMachine(t *testing.T) {
+	cfg := kernel.TestConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	for _, spec := range AllScaled() {
+		prog := spec.Program(nil)
+		comp, err := compiler.Compile(prog, tgt)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		img, err := comp.Bind(spec.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if img.TotalPages <= cfg.UserMemPages {
+			t.Errorf("%s scaled: %d pages fits in %d-page test memory",
+				spec.Name, img.TotalPages, cfg.UserMemPages)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"matvec", "embar", "buk", "cgm", "mgrid", "fftpde"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if _, err := ScaledByName(name); err != nil {
+			t.Errorf("ScaledByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestBukKeysInRange(t *testing.T) {
+	spec := Buk()
+	gens := spec.DataGens(spec.Params)
+	key := gens["key"]
+	n := spec.Params["N"]
+	for i := int64(0); i < 10000; i++ {
+		v := key(i)
+		if v < 0 || v >= n {
+			t.Fatalf("key(%d) = %d out of [0,%d)", i, v, n)
+		}
+	}
+	// Keys must be well spread (bucket-sort input): check that 10k
+	// keys hit many distinct pages of the rank array.
+	pages := map[int64]bool{}
+	for i := int64(0); i < 10000; i++ {
+		pages[key(i)*8/16384] = true
+	}
+	if len(pages) < 1000 {
+		t.Fatalf("keys hit only %d pages; not random enough", len(pages))
+	}
+}
+
+func TestCgmColumnsInRange(t *testing.T) {
+	spec := Cgm()
+	gens := spec.DataGens(spec.Params)
+	acol := gens["acol"]
+	nr := spec.Params["NR"]
+	for i := int64(0); i < 10000; i++ {
+		v := acol(i)
+		if v < 0 || v >= nr {
+			t.Fatalf("acol(%d) = %d out of [0,%d)", i, v, nr)
+		}
+	}
+}
+
+func TestCgmColumnsMostlyBanded(t *testing.T) {
+	spec := Cgm()
+	gens := spec.DataGens(spec.Params)
+	acol := gens["acol"]
+	near := 0
+	const samples = 10000
+	// Sample mid-matrix rows so the band does not wrap around.
+	const base = 1 << 20
+	for i := int64(base); i < base+samples; i++ {
+		row := i / 32
+		c := acol(i)
+		d := c - row
+		if d < 0 {
+			d = -d
+		}
+		if d <= 2048 {
+			near++
+		}
+	}
+	if near < samples*6/10 {
+		t.Fatalf("only %d/%d columns near the diagonal; band structure lost", near, samples)
+	}
+}
+
+func TestMatvecAnalysisPriorities(t *testing.T) {
+	// The paper's MATVEC behavior depends on x having a non-zero
+	// release priority while A has zero.
+	cfg := kernel.DefaultConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	comp, err := compiler.Compile(Matvec().Program(nil), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := comp.Stats
+	if st.ZeroPrioReleases != 1 { // A only
+		t.Errorf("zero-priority releases = %d, want 1", st.ZeroPrioReleases)
+	}
+	if st.ReusePrioReleases != 2 { // x and y
+		t.Errorf("reuse-priority releases = %d, want 2", st.ReusePrioReleases)
+	}
+}
+
+func TestFftpdeMisdetection(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	comp, err := compiler.Compile(Fftpde().Program(nil), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Stats.MisdetectedReuse == 0 {
+		t.Error("FFTPDE's symbolic stride did not trigger reuse misdetection")
+	}
+	if comp.Stats.ZeroPrioReleases != 0 {
+		t.Errorf("FFTPDE should have no zero-priority releases, got %d",
+			comp.Stats.ZeroPrioReleases)
+	}
+}
+
+func TestBukIndirectNotReleased(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	comp, err := compiler.Compile(Buk().Program(nil), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := comp.Stats
+	if st.IndirectRefs != 2 {
+		t.Errorf("indirect refs = %d, want 2 (rank read+write)", st.IndirectRefs)
+	}
+	// Releases: key (rankpass), key and keyout (copypass) = 3; rank
+	// never released.
+	if st.ReleaseDirs != 3 {
+		t.Errorf("release dirs = %d, want 3", st.ReleaseDirs)
+	}
+}
+
+func TestMgridUnknownBounds(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	comp, err := compiler.Compile(Mgrid().Program(nil), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Stats.UnknownBoundLoops != 6 { // 2 procs x 3 loops
+		t.Errorf("unknown-bound loops = %d, want 6", comp.Stats.UnknownBoundLoops)
+	}
+	if comp.Stats.ImpreciseReleases == 0 {
+		t.Error("MGRID's unknown bounds did not trigger imprecise release placement")
+	}
+}
+
+func TestParamsConsistentWithSubscripts(t *testing.T) {
+	// CGM's source hard-codes the row stride 32; the binding must
+	// agree or the sweep would skip data.
+	spec := Cgm()
+	if spec.Params["RNZ"] != 32 {
+		t.Fatalf("RNZ binding %d inconsistent with the literal stride 32", spec.Params["RNZ"])
+	}
+}
+
+func TestProgramsDeterministic(t *testing.T) {
+	a := lang.Format(Matvec().Program(nil))
+	b := lang.Format(Matvec().Program(nil))
+	if a != b {
+		t.Fatal("spec program not deterministic")
+	}
+}

@@ -1,0 +1,573 @@
+// Package memhogs is a library-scale reproduction of Brown & Mowry,
+// "Taming the Memory Hogs: Using Compiler-Inserted Releases to Manage
+// Physical Memory Intelligently" (OSDI 2000).
+//
+// It provides, end to end:
+//
+//   - a small loop-nest language for out-of-core array programs;
+//   - the paper's compiler pass: reuse and locality analysis, software
+//     pipelined prefetching, and aggressive release insertion with
+//     reuse encoded as priorities (equation 2);
+//   - the run-time layer with its filtering and the two release
+//     policies (aggressive vs buffered, §3.3);
+//   - a simulated SGI Origin 200 / IRIX 6.5 platform: global clock
+//     replacement with software reference bits, free list with rescue,
+//     the PagingDirected policy module and its shared page, a releaser
+//     daemon, and striped swap over ten disks (§3.1, Table 1);
+//   - the six out-of-core benchmarks of Table 2 and the interactive
+//     task of §1.1;
+//   - drivers that regenerate every table and figure of §4.
+//
+// Quick start:
+//
+//	rep, err := memhogs.RunBenchmark("matvec", memhogs.Buffered, memhogs.DefaultMachine())
+//	fmt.Println(rep)
+//
+// or compile your own program:
+//
+//	prog, err := memhogs.Compile(src, memhogs.DefaultMachine(), memhogs.Buffered)
+//	fmt.Println(prog.Listing())
+package memhogs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/driver"
+	"memhogs/internal/experiments"
+	"memhogs/internal/kernel"
+	"memhogs/internal/lang"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/trace"
+	"memhogs/internal/vm"
+	"memhogs/internal/workload"
+)
+
+// Version selects one of the paper's four program versions.
+type Version int
+
+// The paper's program versions (Figure 7's bars).
+const (
+	Original     Version = iota // unmodified program
+	PrefetchOnly                // compiler-inserted prefetching
+	Aggressive                  // prefetch + aggressive releasing
+	Buffered                    // prefetch + release buffering
+)
+
+// String returns the paper's one-letter version name.
+func (v Version) String() string { return v.mode().String() }
+
+func (v Version) mode() rt.Mode {
+	switch v {
+	case Original:
+		return rt.ModeOriginal
+	case PrefetchOnly:
+		return rt.ModePrefetch
+	case Aggressive:
+		return rt.ModeAggressive
+	default:
+		return rt.ModeBuffered
+	}
+}
+
+// Versions lists all four program versions in the paper's order.
+func Versions() []Version { return []Version{Original, PrefetchOnly, Aggressive, Buffered} }
+
+// Machine describes the simulated platform.
+type Machine struct {
+	CPUs       int
+	MemoryMB   int
+	PageSizeKB int
+	Disks      int
+	Adapters   int
+	// Scaled marks the small test machine; it only affects which
+	// built-in benchmark sizes RunBenchmark picks.
+	Scaled bool
+}
+
+// DefaultMachine returns the paper's platform (Table 1): 4 CPUs, 75 MB
+// of user memory, 16 KB pages, ten disks on five adapters.
+func DefaultMachine() Machine {
+	return Machine{CPUs: 4, MemoryMB: 75, PageSizeKB: 16, Disks: 10, Adapters: 5}
+}
+
+// TestMachine returns a tiny machine (4 MB) for fast experimentation.
+func TestMachine() Machine {
+	return Machine{CPUs: 4, MemoryMB: 4, PageSizeKB: 16, Disks: 2, Adapters: 1, Scaled: true}
+}
+
+func (m Machine) kernelConfig() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	if m.Scaled {
+		cfg = kernel.TestConfig()
+	}
+	if m.CPUs > 0 {
+		cfg.NCPU = m.CPUs
+	}
+	if m.PageSizeKB > 0 {
+		cfg.PageSize = m.PageSizeKB << 10
+	}
+	if m.MemoryMB > 0 {
+		cfg.UserMemPages = m.MemoryMB << 20 / cfg.PageSize
+	}
+	if m.Disks > 0 {
+		cfg.Disk.NumDisks = m.Disks
+	}
+	if m.Adapters > 0 {
+		cfg.Disk.NumAdapters = m.Adapters
+	}
+	return cfg
+}
+
+// Program is a compiled out-of-core program.
+type Program struct {
+	name string
+	comp *compiler.Compiled
+	prog *lang.Program
+	mach Machine
+	ver  Version
+}
+
+// Compile parses and compiles a loop-nest program for the given
+// machine and version. See the package documentation of internal/lang
+// for the surface syntax; examples/quickstart shows a complete
+// program.
+func Compile(source string, m Machine, v Version) (*Program, error) {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	cfg := m.kernelConfig()
+	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+	tgt.Prefetch = v.mode().UsesPrefetch()
+	tgt.Release = v.mode().UsesRelease()
+	comp, err := compiler.Compile(prog, tgt)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{name: prog.Name, comp: comp, prog: prog, mach: m, ver: v}, nil
+}
+
+// Name returns the program's declared name.
+func (p *Program) Name() string { return p.name }
+
+// Listing returns the transformed pseudo-code with the inserted
+// prefetch and release calls (the paper's Figure 5 view).
+func (p *Program) Listing() string { return p.comp.Listing() }
+
+// SetData attaches a value generator to an indirection index array
+// (e.g. BUK's key array); required before running programs with
+// a[b[i]] references.
+func (p *Program) SetData(array string, fn func(int64) int64) {
+	p.prog.SetData(array, fn)
+}
+
+// Stats summarizes what the compiler inserted.
+type Stats struct {
+	Nests, Refs, IndirectRefs                   int
+	PrefetchDirectives, ReleaseDirectives       int
+	ZeroPriorityReleases, ReusePriorityReleases int
+	MisdetectedReuse, UnknownBoundLoops         int
+}
+
+// Stats returns the compiler's analysis summary.
+func (p *Program) Stats() Stats {
+	s := p.comp.Stats
+	return Stats{
+		Nests: s.Nests, Refs: s.Refs, IndirectRefs: s.IndirectRefs,
+		PrefetchDirectives: s.PrefetchDirs, ReleaseDirectives: s.ReleaseDirs,
+		ZeroPriorityReleases: s.ZeroPrioReleases, ReusePriorityReleases: s.ReusePrioReleases,
+		MisdetectedReuse: s.MisdetectedReuse, UnknownBoundLoops: s.UnknownBoundLoops,
+	}
+}
+
+// RunOptions configures a Program run.
+type RunOptions struct {
+	// Params binds the program's runtime parameters.
+	Params map[string]int64
+	// InteractiveSleepMS, if >= 0, runs the paper's interactive task
+	// concurrently with the given think time in milliseconds.
+	InteractiveSleepMS int
+	// RepeatSeconds, if > 0, loops the program until the given virtual
+	// time instead of running it once.
+	RepeatSeconds int
+}
+
+// Report is the outcome of a run, in plain units.
+type Report struct {
+	Benchmark string
+	Version   string
+
+	ElapsedSeconds       float64
+	UserSeconds          float64
+	SystemSeconds        float64
+	StallResourceSeconds float64
+	StallIOSeconds       float64
+
+	HardFaults       int64
+	SoftFaults       int64
+	SoftFaultsDaemon int64
+	RescueFaults     int64
+	PageIns          int64
+
+	DaemonActivations int64
+	PagesStolen       int64
+	PagesReleased     int64
+	ReleasesRescued   int64
+
+	PrefetchesIssued   int64
+	PrefetchesFiltered int64
+	ReleaseCalls       int64
+
+	InteractiveMeanResponseMS  float64
+	InteractivePageInsPerSweep float64
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %.3fs elapsed\n", r.Benchmark, r.Version, r.ElapsedSeconds)
+	fmt.Fprintf(&b, "  user %.3fs  system %.3fs  stall-resources %.3fs  stall-io %.3fs\n",
+		r.UserSeconds, r.SystemSeconds, r.StallResourceSeconds, r.StallIOSeconds)
+	fmt.Fprintf(&b, "  faults: %d hard, %d soft (%d daemon-caused), %d rescued; %d pages read\n",
+		r.HardFaults, r.SoftFaults, r.SoftFaultsDaemon, r.RescueFaults, r.PageIns)
+	fmt.Fprintf(&b, "  daemon: %d activations, %d pages stolen; releaser: %d pages freed (%d rescued)\n",
+		r.DaemonActivations, r.PagesStolen, r.PagesReleased, r.ReleasesRescued)
+	if r.InteractiveMeanResponseMS > 0 {
+		fmt.Fprintf(&b, "  interactive: %.2f ms mean response, %.1f pages read per sweep\n",
+			r.InteractiveMeanResponseMS, r.InteractivePageInsPerSweep)
+	}
+	return b.String()
+}
+
+func report(name string, v Version, res *driver.Result) *Report {
+	return &Report{
+		Benchmark:            name,
+		Version:              v.String(),
+		ElapsedSeconds:       res.Elapsed.Seconds(),
+		UserSeconds:          res.Times[vm.BucketUser].Seconds(),
+		SystemSeconds:        res.Times[vm.BucketSystem].Seconds(),
+		StallResourceSeconds: res.StallResources().Seconds(),
+		StallIOSeconds:       res.Times[vm.BucketStallIO].Seconds(),
+
+		HardFaults:       res.VM.HardFaults,
+		SoftFaults:       res.VM.SoftFaults,
+		SoftFaultsDaemon: res.VM.SoftFaultsDaemon,
+		RescueFaults:     res.VM.RescueFaults,
+		PageIns:          res.VM.PageIns,
+
+		DaemonActivations: res.Daemon.Activations,
+		PagesStolen:       res.Daemon.Stolen,
+		PagesReleased:     res.Releaser.Freed,
+		ReleasesRescued:   res.Phys.RescuedRelease,
+
+		PrefetchesIssued:   res.RT.PrefetchIssued,
+		PrefetchesFiltered: res.RT.PrefetchFiltered,
+		ReleaseCalls:       res.RT.ReleaseCalls,
+
+		InteractiveMeanResponseMS:  res.Interactive.MeanResponse.Millis(),
+		InteractivePageInsPerSweep: res.Interactive.MeanPageIns,
+	}
+}
+
+// Run executes the compiled program on its machine.
+func (p *Program) Run(opts RunOptions) (*Report, error) {
+	cfg := driver.RunConfig{
+		Kernel:           p.mach.kernelConfig(),
+		Mode:             p.ver.mode(),
+		RT:               rt.DefaultConfig(p.ver.mode()),
+		Params:           opts.Params,
+		Horizon:          30 * 60 * sim.Second,
+		InteractiveSleep: -1,
+	}
+	if opts.InteractiveSleepMS >= 0 {
+		cfg.InteractiveSleep = sim.Time(opts.InteractiveSleepMS) * sim.Millisecond
+	}
+	if opts.RepeatSeconds > 0 {
+		cfg.Repeat = true
+		cfg.Horizon = sim.Time(opts.RepeatSeconds) * sim.Second
+	}
+	res, err := driver.RunCompiled(p.name, p.comp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return report(p.name, p.ver, res), nil
+}
+
+// BenchmarkNames lists the built-in Table 2 benchmarks.
+func BenchmarkNames() []string {
+	var names []string
+	for _, s := range workload.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// BenchmarkSource returns the loop-language source of a built-in
+// benchmark (full-size unless the machine is scaled).
+func BenchmarkSource(name string, m Machine) (string, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return "", err
+	}
+	return spec.Source, nil
+}
+
+func specFor(name string, m Machine) (*workload.Spec, error) {
+	if m.Scaled {
+		return workload.ScaledByName(name)
+	}
+	return workload.ByName(name)
+}
+
+// RunBenchmark runs one built-in benchmark in one version on the given
+// machine, with no interactive task.
+func RunBenchmark(name string, v Version, m Machine) (*Report, error) {
+	return RunBenchmarkOpts(name, v, m, RunOptions{InteractiveSleepMS: -1})
+}
+
+// RunBenchmarkOpts is RunBenchmark with interactive/repeat options.
+func RunBenchmarkOpts(name string, v Version, m Machine, opts RunOptions) (*Report, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return nil, err
+	}
+	cfg := driver.RunConfig{
+		Kernel:           m.kernelConfig(),
+		Mode:             v.mode(),
+		RT:               rt.DefaultConfig(v.mode()),
+		Params:           opts.Params,
+		Horizon:          30 * 60 * sim.Second,
+		InteractiveSleep: -1,
+	}
+	if opts.InteractiveSleepMS >= 0 {
+		cfg.InteractiveSleep = sim.Time(opts.InteractiveSleepMS) * sim.Millisecond
+	}
+	if opts.RepeatSeconds > 0 {
+		cfg.Repeat = true
+		cfg.Horizon = sim.Time(opts.RepeatSeconds) * sim.Second
+	}
+	res, err := driver.Run(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return report(name, v, res), nil
+}
+
+// Experiment regenerates one of the paper's tables or figures and
+// returns the rendered text. Valid ids: table1, table2, table3, fig1,
+// fig7, fig8, fig9, fig10a, fig10b, fig10c. quick selects the scaled
+// campaign; progress (may be nil) receives per-run status lines.
+func Experiment(id string, quick bool, progress io.Writer) (string, error) {
+	o := experiments.Default()
+	if quick {
+		o = experiments.Quick()
+	}
+	o.Progress = progress
+	switch id {
+	case "table1":
+		return experiments.Table1(o).String(), nil
+	case "table2":
+		t, err := experiments.Table2(o)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	case "fig7", "fig8", "fig9", "table3", "locks":
+		v, err := experiments.RunVersions(o)
+		if err != nil {
+			return "", err
+		}
+		switch id {
+		case "fig7":
+			return experiments.Fig7(v), nil
+		case "fig8":
+			return experiments.Fig8(v).String(), nil
+		case "fig9":
+			return experiments.Fig9(v).String(), nil
+		case "locks":
+			return experiments.LockTable(v).String(), nil
+		default:
+			return experiments.Table3(v).String(), nil
+		}
+	case "fig1", "fig10a":
+		s, err := experiments.RunSweep(o)
+		if err != nil {
+			return "", err
+		}
+		if id == "fig1" {
+			return experiments.Fig1(s).String(), nil
+		}
+		return experiments.Fig10a(s).String(), nil
+	case "fig10b", "fig10c":
+		d, err := experiments.RunInteractive(o)
+		if err != nil {
+			return "", err
+		}
+		if id == "fig10b" {
+			return experiments.Fig10b(d).String(), nil
+		}
+		return experiments.Fig10c(d).String(), nil
+	default:
+		return "", fmt.Errorf("memhogs: unknown experiment %q", id)
+	}
+}
+
+// ExperimentIDs lists the reproducible tables and figures in paper
+// order.
+func ExperimentIDs() []string {
+	return []string{"table1", "table2", "fig1", "fig7", "fig8", "table3", "fig9", "fig10a", "fig10b", "fig10c"}
+}
+
+// Duel runs two out-of-core benchmarks concurrently in each program
+// version — the multiprogrammed scenario the paper's introduction
+// motivates. The table shows both hogs' elapsed times and how many
+// pages the daemon stole from each.
+func Duel(benchA, benchB string, m Machine) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duel: %s vs %s\n", benchA, benchB)
+	fmt.Fprintf(&b, "%-8s %14s %14s %12s %12s\n", "version",
+		benchA+" time", benchB+" time", "stolen(A)", "stolen(B)")
+	horizon := 30 * 60 * sim.Second
+	for _, v := range Versions() {
+		ra, rb, err := driver.RunPair(benchA, benchB, v.mode(), m.kernelConfig(), m.Scaled, horizon)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-8s %14s %14s %12d %12d\n",
+			v.String(), ra.Elapsed.String(), rb.Elapsed.String(), ra.Stolen, rb.Stolen)
+	}
+	b.WriteString("Expected shape: with releasing (R/B) the hogs stop stealing from each other.\n")
+	return b.String(), nil
+}
+
+// Sensitivity sweeps the machine's memory size for one benchmark,
+// comparing prefetch-only against buffered releasing from
+// memory-starved to data-fits (a study the paper's fixed 75 MB
+// platform leaves open). quick uses the scaled benchmark.
+func Sensitivity(bench string, quick bool, progress io.Writer) (string, error) {
+	o := experiments.Default()
+	if quick {
+		o = experiments.Quick()
+	}
+	o.Progress = progress
+	s, err := experiments.RunSensitivity(o, bench, nil)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatSensitivity(s).String(), nil
+}
+
+// Timeline runs one benchmark version with a concurrent interactive
+// task and returns an ASCII timeline of the memory system's dynamics:
+// free pages, per-process resident sets, and cumulative daemon and
+// releaser activity.
+func Timeline(name string, v Version, m Machine, seconds int, sleepMS int) (string, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return "", err
+	}
+	if seconds <= 0 {
+		seconds = 20
+	}
+	horizon := sim.Time(seconds) * sim.Second
+	var rec *trace.Recorder
+	cfg := driver.RunConfig{
+		Kernel:           m.kernelConfig(),
+		Mode:             v.mode(),
+		RT:               rt.DefaultConfig(v.mode()),
+		Repeat:           true,
+		Horizon:          horizon,
+		InteractiveSleep: -1,
+		OnSystem: func(sys *kernel.System) {
+			rec = trace.Attach(sys, horizon/60)
+		},
+	}
+	if sleepMS >= 0 {
+		cfg.InteractiveSleep = sim.Time(sleepMS) * sim.Millisecond
+	}
+	if _, err := driver.Run(spec, cfg); err != nil {
+		return "", err
+	}
+	return rec.Render(60) + rec.Summary() + "\n", nil
+}
+
+// Verify runs the three experiment campaigns and checks the paper's
+// headline claims against the reproduction, returning the rendered
+// claim table and whether every claim held.
+func Verify(quick bool, progress io.Writer) (string, bool, error) {
+	o := experiments.Default()
+	if quick {
+		o = experiments.Quick()
+	}
+	o.Progress = progress
+	v, err := experiments.RunVersions(o)
+	if err != nil {
+		return "", false, err
+	}
+	d, err := experiments.RunInteractive(o)
+	if err != nil {
+		return "", false, err
+	}
+	s, err := experiments.RunSweep(o)
+	if err != nil {
+		return "", false, err
+	}
+	claims := experiments.CheckClaims(v, d, s)
+	all := true
+	for _, c := range claims {
+		all = all && c.Pass
+	}
+	return experiments.FormatClaims(claims), all, nil
+}
+
+// AllExperiments regenerates every table and figure in paper order,
+// sharing the underlying runs between the figures the paper derives
+// from the same data (Figure 7/8/9 and Table 3 share one campaign;
+// Figures 1 and 10(a) share the sleep sweep; Figures 10(b) and 10(c)
+// share the interactive campaign).
+func AllExperiments(quick bool, progress io.Writer) (string, error) {
+	o := experiments.Default()
+	if quick {
+		o = experiments.Quick()
+	}
+	o.Progress = progress
+
+	var b strings.Builder
+	emit := func(s string) { b.WriteString(s); b.WriteString("\n") }
+
+	emit(experiments.Table1(o).String())
+	t2, err := experiments.Table2(o)
+	if err != nil {
+		return "", err
+	}
+	emit(t2.String())
+
+	sweep, err := experiments.RunSweep(o)
+	if err != nil {
+		return "", err
+	}
+	emit(experiments.Fig1(sweep).String())
+
+	versions, err := experiments.RunVersions(o)
+	if err != nil {
+		return "", err
+	}
+	emit(experiments.Fig7(versions))
+	emit(experiments.Fig8(versions).String())
+	emit(experiments.Table3(versions).String())
+	emit(experiments.Fig9(versions).String())
+
+	emit(experiments.Fig10a(sweep).String())
+
+	inter, err := experiments.RunInteractive(o)
+	if err != nil {
+		return "", err
+	}
+	emit(experiments.Fig10b(inter).String())
+	emit(experiments.Fig10c(inter).String())
+	return b.String(), nil
+}
