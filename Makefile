@@ -1,12 +1,27 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench examples experiments verify golden clean
+.PHONY: all build test vet hogvet lint bench examples experiments verify golden clean
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static hint-safety gate: hogc -vet exits non-zero on error-severity
+# findings, over both the .hog sources in the tree and the built-in
+# benchmarks.
+hogvet: build
+	@for f in examples/*.hog internal/compiler/testdata/*.hog; do \
+		echo "hogc -vet $$f"; \
+		go run ./cmd/hogc -vet -stats=false $$f >/dev/null || exit 1; \
+	done
+	@for b in `go run ./cmd/memhog list`; do \
+		echo "hogc -vet -bench $$b"; \
+		go run ./cmd/hogc -vet -stats=false -bench $$b >/dev/null || exit 1; \
+	done
+
+lint: build vet hogvet
 
 test: build vet
 	go test ./...

@@ -1,6 +1,8 @@
-// Command gen-golden regenerates the compiler's golden listings for
-// the built-in benchmarks (internal/compiler/testdata). Run it after
-// an intentional change to the analysis and review the diff.
+// Command gen-golden regenerates the compiler's golden listings
+// (internal/compiler/testdata) and the verifier's golden diagnostic
+// listings (internal/hogvet/testdata) for the built-in benchmarks.
+// Run it after an intentional change to the analysis or the checks and
+// review the diff.
 package main
 
 import (
@@ -8,6 +10,7 @@ import (
 	"os"
 
 	"memhogs/internal/compiler"
+	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
 	"memhogs/internal/workload"
 )
@@ -17,11 +20,15 @@ func main() {
 	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
 	for _, s := range workload.All() {
 		c := compiler.MustCompile(s.Program(nil), tgt)
-		path := "internal/compiler/testdata/" + s.Name + ".golden"
-		if err := os.WriteFile(path, []byte(c.Listing()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", path)
+		write("internal/compiler/testdata/"+s.Name+".golden", c.Listing())
+		write("internal/hogvet/testdata/"+s.Name+".golden", hogvet.Vet(c).String())
 	}
+}
+
+func write(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }

@@ -1,14 +1,18 @@
 // Command hogc is the standalone prefetch/release compiler: it reads a
 // loop-nest program, runs the paper's analysis pass, and prints the
-// transformed code with the inserted prefetch and release calls plus
-// an analysis summary.
+// transformed code with the inserted prefetch and release calls,
+// followed by the static verifier's diagnostics (and, with -stats, the
+// analysis summary routed through the same formatter).
 //
 // Usage:
 //
-//	hogc [-mem MB] [-page KB] [-latency ms] [-version O|P|R|B] file.hog
+//	hogc [-mem MB] [-page KB] [-version O|P|R|B] file.hog
 //	hogc -bench matvec            # compile a built-in benchmark
+//	hogc -vet -bench fftpde       # diagnostics only, no listing
 //
-// With no file and no -bench, the source is read from stdin.
+// With no file and no -bench, the source is read from stdin. hogc
+// exits non-zero when compilation fails or when the verifier reports
+// an error-severity finding.
 package main
 
 import (
@@ -26,6 +30,7 @@ func main() {
 	version := flag.String("version", "B", "program version: O, P, R or B")
 	bench := flag.String("bench", "", "compile a built-in benchmark instead of a file")
 	stats := flag.Bool("stats", true, "print the analysis summary")
+	vet := flag.Bool("vet", false, "print verifier diagnostics only (no listing)")
 	flag.Parse()
 
 	var src string
@@ -72,18 +77,23 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Print(prog.Listing())
+
+	// Diagnostics always go through the verifier's formatter — the old
+	// ad-hoc "// warning:"/"// note:" lines are now real findings
+	// (HV006, HV008) and survive -stats=false.
+	rep := prog.Vet()
 	if *stats {
-		st := prog.Stats()
-		fmt.Printf("\n// analysis: %d nests, %d refs (%d indirect)\n", st.Nests, st.Refs, st.IndirectRefs)
-		fmt.Printf("// inserted: %d prefetch, %d release (%d zero-priority, %d with reuse)\n",
-			st.PrefetchDirectives, st.ReleaseDirectives, st.ZeroPriorityReleases, st.ReusePriorityReleases)
-		if st.MisdetectedReuse > 0 {
-			fmt.Printf("// warning: %d symbolic-stride reference(s) with misdetected temporal reuse\n", st.MisdetectedReuse)
-		}
-		if st.UnknownBoundLoops > 0 {
-			fmt.Printf("// note: %d loop(s) with bounds unknown at compile time (conservative analysis)\n", st.UnknownBoundLoops)
-		}
+		rep = prog.VetWithStats()
+	}
+	if *vet {
+		fmt.Print(rep)
+	} else {
+		fmt.Print(prog.Listing())
+		fmt.Println()
+		fmt.Print(rep)
+	}
+	if rep.HasErrors() {
+		os.Exit(1)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	memhog verify               # check the paper's claims; exit 1 on failure
 //	memhog run <benchmark>      # one benchmark, all four versions
 //	memhog listing <benchmark>  # transformed code with inserted hints
+//	memhog vet [benchmark...]   # static hint-safety diagnostics (default: all)
 //	memhog timeline <benchmark> [O|P|R|B]  # memory dynamics over time
 //	memhog sensitivity <benchmark>         # memory-size sweep
 //	memhog duel <a> <b>         # two memory hogs sharing the machine
@@ -79,6 +80,23 @@ func main() {
 			if err := enc.Encode(reports); err != nil {
 				fatal("%v", err)
 			}
+		}
+	case "vet":
+		names := flag.Args()[1:]
+		if len(names) == 0 {
+			names = memhogs.BenchmarkNames()
+		}
+		failed := false
+		for _, name := range names {
+			rep, err := memhogs.VetBenchmark(name, machine)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("==== %s ====\n%s\n", name, rep)
+			failed = failed || rep.HasErrors()
+		}
+		if failed {
+			os.Exit(1)
 		}
 	case "listing":
 		if flag.NArg() < 2 {
@@ -173,6 +191,7 @@ usage:
   memhog [-quick] all            every table and figure, paper order
   memhog [-quick] run <bench>    one benchmark in all four versions
   memhog [-quick] listing <bench> transformed code with inserted hints
+  memhog [-quick] vet [bench...] static hint-safety diagnostics, exit 1 on errors
   memhog [-quick] timeline <bench> [O|P|R|B]  memory dynamics over time
   memhog [-quick] sensitivity <bench>  memory-size sweep (P vs B crossover)
   memhog [-quick] duel <a> <b>   two memory hogs sharing the machine

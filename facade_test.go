@@ -90,3 +90,52 @@ func TestVerifyQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestVetFacade(t *testing.T) {
+	// The pathological benchmark reports its signature finding through
+	// the public API...
+	rep, err := VetBenchmark("fftpde", TestMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasErrors() || rep.Clean() {
+		t.Fatalf("fftpde: want warnings without errors, got %d errors / %d warnings", rep.Errors, rep.Warnings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Code == "HV006" {
+			found = true
+			if f.Severity != "warning" || f.Array != "x" || f.Fix == "" {
+				t.Fatalf("HV006 finding malformed: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("fftpde: no HV006 finding in %v", rep.Findings)
+	}
+	if !strings.Contains(rep.String(), "HV006") {
+		t.Fatalf("rendered report missing HV006:\n%s", rep)
+	}
+
+	// ...and the clean benchmark stays clean, with the analysis summary
+	// available as HV000 notes.
+	clean, err := VetBenchmark("matvec", TestMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Clean() || len(clean.Findings) != 0 {
+		t.Fatalf("matvec: want zero findings, got:\n%s", clean)
+	}
+	prog, err := Compile(`
+program tiny
+array a[4096] of float64
+for i = 0 to 4095 { a[i] = a[i] + 1 @ 10 }
+`, TestMachine(), Buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := prog.VetWithStats()
+	if ws.Notes < 2 || !strings.Contains(ws.String(), "HV000") {
+		t.Fatalf("VetWithStats missing HV000 summary notes:\n%s", ws)
+	}
+}

@@ -116,6 +116,7 @@ func (na *nestAnalysis) placeDirectives() map[*loopNode][]*xdir {
 			}
 			na.cc.c.Stats.PrefetchDirs++
 			attach(r.driving, d)
+			na.cc.recordHint(d, r, false)
 		}
 		if tgt.Release {
 			r := g.trailer
@@ -134,8 +135,10 @@ func (na *nestAnalysis) placeDirectives() map[*loopNode][]*xdir {
 			// falls back to releasing behind the *leading* reference,
 			// which frees pages the trailing references still need —
 			// the MGRID rescue pathology of Figure 9.
+			imprecise := false
 			if g.leader != g.trailer && pathHasUnknownTrips(r) && !tgt.Adaptive {
 				r = g.leader
+				imprecise = true
 				na.cc.c.Stats.ImpreciseReleases++
 			}
 			prio := priority(r)
@@ -153,6 +156,7 @@ func (na *nestAnalysis) placeDirectives() map[*loopNode][]*xdir {
 			}
 			na.cc.c.Stats.ReleaseDirs++
 			attach(r.driving, d)
+			na.cc.recordHint(d, r, imprecise)
 		}
 	}
 	if tgt.Prefetch {
@@ -182,6 +186,7 @@ func (na *nestAnalysis) placeDirectives() map[*loopNode][]*xdir {
 			}
 			na.cc.c.Stats.PrefetchDirs++
 			attach(r.driving, d)
+			na.cc.recordHint(d, r, false)
 		}
 	}
 	return out

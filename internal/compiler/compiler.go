@@ -112,6 +112,7 @@ type Compiled struct {
 	numDirs  int
 	numSites int
 	procs    map[*lang.Proc][]xstmt
+	hints    []Hint
 }
 
 // NumTags returns the number of distinct hint tags (request
@@ -144,12 +145,14 @@ func Compile(prog *lang.Program, tgt Target) (*Compiled, error) {
 	cc := &compileCtx{c: c, known: known}
 	// Compile procedures once each (single version of code).
 	for _, pr := range prog.Procs {
+		cc.proc = pr.Name
 		body, err := cc.compileBody(pr.Body, pr.Formals)
 		if err != nil {
 			return nil, fmt.Errorf("proc %s: %w", pr.Name, err)
 		}
 		c.procs[pr] = body
 	}
+	cc.proc = ""
 	main, err := cc.compileBody(prog.Body, nil)
 	if err != nil {
 		return nil, err
@@ -187,6 +190,7 @@ func containsCall(l *lang.Loop) bool {
 type compileCtx struct {
 	c     *Compiled
 	known lang.Env
+	proc  string // name of the procedure being compiled; "" for main
 }
 
 // compileBody compiles a statement list. formals are symbols bound at

@@ -1,0 +1,97 @@
+package compiler
+
+import "memhogs/internal/lang"
+
+// HintKind distinguishes the two directive families in the exported
+// schedule.
+type HintKind int8
+
+// Hint kinds.
+const (
+	HintPrefetch HintKind = iota
+	HintRelease
+)
+
+// String returns the pseudo-code spelling of the kind.
+func (k HintKind) String() string {
+	if k == HintRelease {
+		return "rel"
+	}
+	return "pf"
+}
+
+// Hint is the externally visible description of one compiler-inserted
+// directive: everything a verifier (internal/hogvet) needs to re-derive
+// and cross-check the analysis without reaching into the executable
+// form. Pointers reference the program AST the schedule was compiled
+// from.
+type Hint struct {
+	ID       int
+	Tag      int
+	Kind     HintKind
+	Priority int // equation (2) value passed by release directives
+
+	Proc string // enclosing procedure name; "" for the main body
+
+	Array *lang.Array
+	Elem  int
+	// Affine is the linearized element offset for affine directives;
+	// nil for indirect targets, which carry IndexArray/IndexAffine
+	// (the a[b[i]] form) instead.
+	Affine      *lang.Affine
+	IndexArray  *lang.Array
+	IndexAffine *lang.Affine
+
+	// Loop is the loop the directive is attached to (it is evaluated
+	// once per iteration of that loop); Path lists the enclosing loops
+	// of the reference within its nest, outermost first, ending at or
+	// below Loop.
+	Loop *lang.Loop
+	Path []*lang.Loop
+
+	PagesAhead int64
+	ItersAhead int64
+	Gates      []string
+
+	// Imprecise marks a release that fell back to the group's leading
+	// reference because unknown loop bounds separate it from the true
+	// trailing reference (the MGRID pathology).
+	Imprecise bool
+}
+
+// Hints returns the full directive schedule in placement order (which
+// is deterministic). The slice is a copy; the pointed-to AST nodes are
+// shared with the compiled program.
+func (c *Compiled) Hints() []Hint {
+	return append([]Hint(nil), c.hints...)
+}
+
+// recordHint captures the schedule entry for a directive at placement
+// time.
+func (cc *compileCtx) recordHint(d *xdir, r *refInfo, imprecise bool) {
+	h := Hint{
+		ID:         d.id,
+		Tag:        d.tag,
+		Priority:   d.prio,
+		Proc:       cc.proc,
+		Array:      d.arr,
+		Elem:       d.elem,
+		Affine:     d.lin,
+		Loop:       r.driving.l,
+		PagesAhead: d.pagesAhead,
+		ItersAhead: d.itersAhead,
+		Gates:      append([]string(nil), d.gates...),
+		Imprecise:  imprecise,
+	}
+	if d.kind == dirRel {
+		h.Kind = HintRelease
+	}
+	if d.ind != nil {
+		h.IndexArray = d.ind.idxArr
+		h.IndexAffine = d.ind.idxLin
+	}
+	for _, n := range r.path {
+		h.Path = append(h.Path, n.l)
+	}
+	cc.c.hints = append(cc.c.hints, h)
+}

@@ -1,0 +1,254 @@
+package hogvet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/lang"
+)
+
+// vetCtx carries the verifier's working state for one program.
+type vetCtx struct {
+	prog  *lang.Program
+	tgt   compiler.Target
+	opts  Options
+	known lang.Env
+	ds    Diagnostics
+
+	refCache map[*lang.Loop][]vetRef // nest root -> collected references
+}
+
+// vetRef is one array reference found by the verifier's own AST walk,
+// with its independently linearized subscript.
+type vetRef struct {
+	assign   *lang.Assign
+	ref      *lang.Ref
+	arr      *lang.Array
+	lin      *lang.Affine // nil when indirect or not linearizable
+	indirect bool
+	path     []*lang.Loop // enclosing loops within the nest, outermost first
+}
+
+func (v *vetCtx) add(d Diagnostic) {
+	if d.Program == "" {
+		d.Program = v.prog.Name
+	}
+	v.ds = append(v.ds, d)
+}
+
+// estTrips evaluates a loop's trip count under the compile-time-known
+// bindings, or the assumed UnknownTrip when the bounds are symbolic.
+func (v *vetCtx) estTrips(l *lang.Loop) float64 {
+	if t, ok := trips(l, v.known); ok {
+		return float64(t)
+	}
+	return float64(v.opts.UnknownTrip)
+}
+
+// trips returns the exact trip count when both bounds evaluate under
+// env.
+func trips(l *lang.Loop, env lang.Env) (int64, bool) {
+	lo, ok1 := l.Lo.TryEval(env)
+	hi, ok2 := l.Hi.TryEval(env)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	t := (hi-lo)/l.Step + 1
+	if t < 0 {
+		t = 0
+	}
+	return t, true
+}
+
+// boundsKnown reports whether every loop on the path has evaluable
+// bounds.
+func (v *vetCtx) boundsKnown(path []*lang.Loop) bool {
+	for _, l := range path {
+		if _, ok := trips(l, v.known); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// linearize flattens a reference into a single element offset, exactly
+// mirroring the compiler's row-major rule (but implemented
+// independently so disagreements surface as findings rather than being
+// inherited). It returns nil for indirect or non-linearizable
+// references.
+func (v *vetCtx) linearize(r *lang.Ref) (*lang.Affine, bool) {
+	if len(r.Index) == 1 {
+		if _, ok := r.Index[0].(*lang.Indirect); ok {
+			return nil, true
+		}
+	}
+	scales := make([]int64, len(r.Array.Dims))
+	scale := int64(1)
+	for d := len(r.Array.Dims) - 1; d >= 0; d-- {
+		scales[d] = scale
+		dim, ok := r.Array.Dims[d].TryEval(v.known)
+		if !ok {
+			return nil, false
+		}
+		scale *= dim
+	}
+	lin := &lang.Affine{}
+	for d, idx := range r.Index {
+		aff, ok := idx.(*lang.Affine)
+		if !ok {
+			return nil, true
+		}
+		lin = lang.AddAffine(lin, lang.ScaleAffine(aff, scales[d]))
+	}
+	return lin, false
+}
+
+// nestRefs collects (and caches) every reference beneath a nest root,
+// including the index-array reads of indirect references (which the
+// compiler analyzes as ordinary affine streams).
+func (v *vetCtx) nestRefs(root *lang.Loop) []vetRef {
+	if refs, ok := v.refCache[root]; ok {
+		return refs
+	}
+	var out []vetRef
+	var walk func(l *lang.Loop, path []*lang.Loop)
+	walk = func(l *lang.Loop, path []*lang.Loop) {
+		path = append(path, l)
+		for _, s := range l.Body {
+			switch st := s.(type) {
+			case *lang.Loop:
+				walk(st, path)
+			case *lang.Assign:
+				for _, r := range lang.StmtRefs(st) {
+					p := append([]*lang.Loop{}, path...)
+					lin, ind := v.linearize(r)
+					out = append(out, vetRef{assign: st, ref: r, arr: r.Array, lin: lin, indirect: ind, path: p})
+					if ind && len(r.Index) == 1 {
+						if ix, ok := r.Index[0].(*lang.Indirect); ok {
+							out = append(out, vetRef{assign: st, ref: r, arr: ix.Array, lin: ix.Idx, path: p})
+						}
+					}
+				}
+			}
+		}
+	}
+	walk(root, nil)
+	v.refCache[root] = out
+	return out
+}
+
+// signature canonicalizes an affine's variable terms: two references
+// with equal signatures touch the same address stream up to a constant
+// offset (the compiler's "group locality").
+func signature(a *lang.Affine) string {
+	terms := append([]lang.Term{}, a.Terms...)
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Var != terms[j].Var {
+			return terms[i].Var < terms[j].Var
+		}
+		return terms[i].CoefParam < terms[j].CoefParam
+	})
+	var b strings.Builder
+	for _, t := range terms {
+		fmt.Fprintf(&b, "%s*%d*%s|", t.Var, t.Coef, t.CoefParam)
+	}
+	return b.String()
+}
+
+// collectNests returns every top-level loop nest the compiler analyzes
+// independently: top-level loops of the main body and of each
+// procedure, with driver loops (loops containing calls) transparent,
+// mirroring the compiler's nest discovery.
+func (v *vetCtx) collectNests() []nest {
+	var out []nest
+	for _, pr := range v.prog.Procs {
+		out = append(out, bodyNests(pr.Body, pr.Name)...)
+	}
+	out = append(out, bodyNests(v.prog.Body, "")...)
+	return out
+}
+
+// nest is one independently analyzed loop nest.
+type nest struct {
+	root *lang.Loop
+	proc string
+}
+
+func bodyNests(body []lang.Stmt, proc string) []nest {
+	var out []nest
+	for _, s := range body {
+		l, ok := s.(*lang.Loop)
+		if !ok {
+			continue
+		}
+		if containsCall(l) {
+			// Driver loop: its inner nests are analyzed independently.
+			out = append(out, bodyNests(l.Body, proc)...)
+			continue
+		}
+		out = append(out, nest{root: l, proc: proc})
+	}
+	return out
+}
+
+func containsCall(l *lang.Loop) bool {
+	for _, s := range l.Body {
+		switch st := s.(type) {
+		case *lang.Call:
+			return true
+		case *lang.Loop:
+			if containsCall(st) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// temporalLoops recomputes, from the AST alone, the loops the
+// compiler's reuse analysis attributes temporal reuse to for a
+// reference with the given linearized subscript: loops whose variable
+// the subscript provably does not advance with (zero coefficient), plus
+// — unless the target is adaptive — loops with a symbolic stride, which
+// the analysis cannot distinguish from loop invariance (the FFTPDE
+// misdetection).
+func temporalLoops(lin *lang.Affine, path []*lang.Loop, adaptive bool) (loops []*lang.Loop, symbolic []*lang.Loop) {
+	for _, l := range path {
+		coef, sym := lin.CoefOf(l.Var)
+		switch {
+		case sym && !adaptive:
+			loops = append(loops, l)
+			symbolic = append(symbolic, l)
+		case !sym && coef == 0:
+			loops = append(loops, l)
+		}
+	}
+	return loops, symbolic
+}
+
+// eq2Priority recomputes equation (2) — Σ 2^depth over temporal loops,
+// outermost depth 0, depth capped at 20 — independently of the
+// compiler's implementation.
+func eq2Priority(lin *lang.Affine, path []*lang.Loop, adaptive bool) int {
+	loops, _ := temporalLoops(lin, path, adaptive)
+	p := 0
+	for _, l := range loops {
+		d := depthOf(l, path)
+		if d > 20 {
+			d = 20
+		}
+		p += 1 << uint(d)
+	}
+	return p
+}
+
+func depthOf(l *lang.Loop, path []*lang.Loop) int {
+	for i, p := range path {
+		if p == l {
+			return i
+		}
+	}
+	return 0
+}

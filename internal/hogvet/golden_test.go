@@ -1,0 +1,101 @@
+package hogvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/hogvet"
+	"memhogs/internal/workload"
+)
+
+// TestGoldenDiagnostics locks the verifier's full listing for the six
+// built-in benchmarks: matvec and embar must stay clean, fftpde must
+// show the false-temporal-reuse warning, mgrid the two leader-placed
+// releases, and cgm/mgrid/fftpde the hint floods. Regenerate
+// intentionally with `go run ./cmd/gen-golden`.
+func TestGoldenDiagnostics(t *testing.T) {
+	tgt := testTarget()
+	for _, spec := range workload.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			c := compiler.MustCompile(spec.Program(nil), tgt)
+			got := hogvet.Vet(c).String()
+			path := filepath.Join("testdata", spec.Name+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go run ./cmd/gen-golden`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed; if intentional run `go run ./cmd/gen-golden`\n--- got\n%s\n--- want\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenSeverityFloor pins the acceptance shape independently of
+// the golden bytes: which checks fire on which benchmark at
+// warning-or-above.
+func TestGoldenSeverityFloor(t *testing.T) {
+	want := map[string][]string{
+		"matvec": {},
+		"embar":  {},
+		"buk":    {},
+		"cgm":    {"HV007"},
+		"mgrid":  {"HV001", "HV001", "HV007", "HV007"},
+		"fftpde": {"HV006", "HV007"},
+	}
+	tgt := testTarget()
+	for _, spec := range workload.All() {
+		c := compiler.MustCompile(spec.Program(nil), tgt)
+		var got []string
+		for _, d := range hogvet.Vet(c).AtLeast(hogvet.Warning) {
+			got = append(got, d.Code)
+		}
+		exp := want[spec.Name]
+		if len(got) != len(exp) {
+			t.Errorf("%s: warnings %v, want %v", spec.Name, got, exp)
+			continue
+		}
+		seen := map[string]int{}
+		for _, code := range got {
+			seen[code]++
+		}
+		for _, code := range exp {
+			seen[code]--
+		}
+		for code, n := range seen {
+			if n != 0 {
+				t.Errorf("%s: warnings %v, want %v (code %s off by %d)", spec.Name, got, exp, code, n)
+			}
+		}
+	}
+}
+
+// TestVetDeterministic runs the verifier twice over fresh compilations
+// and demands byte-identical output.
+func TestVetDeterministic(t *testing.T) {
+	tgt := testTarget()
+	for _, spec := range workload.All() {
+		a := hogvet.Vet(compiler.MustCompile(spec.Program(nil), tgt)).String()
+		b := hogvet.Vet(compiler.MustCompile(spec.Program(nil), tgt)).String()
+		if a != b {
+			t.Fatalf("%s: diagnostics not deterministic", spec.Name)
+		}
+	}
+}
+
+// TestVetFast bounds the verifier's cost: all six benchmarks, compile
+// included, well under a second — cheap enough for every CI run.
+func TestVetFast(t *testing.T) {
+	tgt := testTarget()
+	start := time.Now()
+	for _, spec := range workload.All() {
+		hogvet.Vet(compiler.MustCompile(spec.Program(nil), tgt))
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("verifying all six benchmarks took %v, want < 1s", d)
+	}
+}

@@ -1,0 +1,234 @@
+// Package hogvet is a static hint-safety verifier for compiled release
+// schedules: a dataflow pass over the loop-nest AST (internal/lang)
+// plus the directive schedule the compiler exports
+// (compiler.Compiled.Hints), producing structured diagnostics.
+//
+// The checks target the statically detectable failure classes the
+// paper reports dynamically:
+//
+//	HV001 release-before-last-use   a release hint dominates a later
+//	                                reference to the same array region
+//	                                (MGRID's rescue pathology, §4.4)
+//	HV002 indirect-release          release of an indirectly-subscripted
+//	                                array, which §3.2 forbids
+//	HV003 priority-mismatch         the stored release priority differs
+//	                                from equation (2) recomputed
+//	                                independently from the AST
+//	HV004 duplicate-tag             two directives share a request tag
+//	HV005 shadowed-hint             two identical hints where the second
+//	                                can never contribute
+//	HV006 false-temporal-reuse      a release priority claims reuse at a
+//	                                loop whose subscript stride is
+//	                                symbolic (FFTPDE's pathology, §4.5)
+//	HV007 hint-flood                estimated hint evaluations per
+//	                                iteration of an unknown-bound loop
+//	                                exceed a threshold (CGM/MGRID
+//	                                user-time overhead, §4.3)
+//	HV008 unknown-bound             note: conservative analysis under a
+//	                                loop whose bounds are unknown
+//	HV009 unproven-release-region   note: the released array is also
+//	                                accessed through a different
+//	                                subscript pattern in the same nest
+//
+// HV000 (analysis-summary) is reserved for informational notes that
+// front ends route through the same formatter (cmd/hogc's -stats
+// lines).
+//
+// The verifier is cheap — no simulation, a single walk over the AST
+// and the schedule — so it can run in every test and as a CI gate
+// (hogc -vet, memhog vet).
+package hogvet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memhogs/internal/compiler"
+)
+
+// Severity grades a finding.
+type Severity int8
+
+// Severities, in increasing order.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	Code     string // stable check code, e.g. "HV006"
+	Check    string // short check name, e.g. "false-temporal-reuse"
+	Severity Severity
+
+	Program string // program name
+	Proc    string // enclosing procedure; "" for the main body
+	Line    int    // source line; 0 when unknown
+	Array   string // array the finding concerns, if any
+	Tag     int    // hint tag the finding concerns; -1 if none
+
+	Message string // one-line statement of the finding
+	Detail  string // explanation (why this is a problem)
+	Fix     string // suggested fix
+}
+
+// Pos renders the source position as program:line, with the enclosing
+// procedure when there is one.
+func (d *Diagnostic) Pos() string {
+	pos := d.Program
+	if d.Line > 0 {
+		pos = fmt.Sprintf("%s:%d", pos, d.Line)
+	}
+	if d.Proc != "" {
+		pos += " (proc " + d.Proc + ")"
+	}
+	return pos
+}
+
+// String renders the diagnostic in the engine's line format.
+func (d *Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s[%s] %s\n", d.Pos(), d.Severity, d.Code, d.Message)
+	if d.Detail != "" {
+		fmt.Fprintf(&b, "    %s\n", d.Detail)
+	}
+	if d.Fix != "" {
+		fmt.Fprintf(&b, "    fix: %s\n", d.Fix)
+	}
+	return b.String()
+}
+
+// Diagnostics is a sorted list of findings.
+type Diagnostics []Diagnostic
+
+// String renders every diagnostic followed by a summary line.
+func (ds Diagnostics) String() string {
+	var b strings.Builder
+	for i := range ds {
+		b.WriteString(ds[i].String())
+	}
+	b.WriteString(ds.Summary())
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Summary returns the "N error(s), N warning(s), N note(s)" line.
+func (ds Diagnostics) Summary() string {
+	e, w, n := ds.Counts()
+	if e+w+n == 0 {
+		return "clean: no diagnostics"
+	}
+	return fmt.Sprintf("%d error(s), %d warning(s), %d note(s)", e, w, n)
+}
+
+// Counts tallies findings by severity.
+func (ds Diagnostics) Counts() (errors, warnings, notes int) {
+	for i := range ds {
+		switch ds[i].Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			notes++
+		}
+	}
+	return
+}
+
+// Max returns the highest severity present, or Note-1 when empty.
+func (ds Diagnostics) Max() Severity {
+	max := Severity(-1)
+	for i := range ds {
+		if ds[i].Severity > max {
+			max = ds[i].Severity
+		}
+	}
+	return max
+}
+
+// AtLeast filters to findings at or above the given severity.
+func (ds Diagnostics) AtLeast(s Severity) Diagnostics {
+	var out Diagnostics
+	for i := range ds {
+		if ds[i].Severity >= s {
+			out = append(out, ds[i])
+		}
+	}
+	return out
+}
+
+// ByCode filters to findings with the given code.
+func (ds Diagnostics) ByCode(code string) Diagnostics {
+	var out Diagnostics
+	for i := range ds {
+		if ds[i].Code == code {
+			out = append(out, ds[i])
+		}
+	}
+	return out
+}
+
+// sortStable orders findings by source position, then code, then tag,
+// so output is deterministic regardless of check order.
+func (ds Diagnostics) sortStable() {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := &ds[i], &ds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Tag < b.Tag
+	})
+}
+
+// Options tunes the verifier.
+type Options struct {
+	// FloodThreshold is the estimated number of hint evaluations per
+	// iteration of an unknown-bound loop above which HV007 fires.
+	FloodThreshold float64
+	// UnknownTrip is the iteration count assumed for unknown-bound
+	// loops when estimating hint volume; 0 uses the compile target's
+	// value.
+	UnknownTrip int64
+}
+
+// DefaultOptions returns the standard thresholds.
+func DefaultOptions() Options { return Options{FloodThreshold: 64} }
+
+// Vet verifies a compiled program's hint schedule against its AST with
+// default options.
+func Vet(c *compiler.Compiled) Diagnostics {
+	return VetSchedule(c.Prog, c.Target, c.Hints(), DefaultOptions())
+}
+
+// InfoNotes wraps pre-rendered informational lines as HV000
+// analysis-summary notes, so front ends (cmd/hogc's -stats view) route
+// them through the same formatter as real findings. Line stays 0, so
+// sortStable keeps them ahead of positioned diagnostics.
+func InfoNotes(program string, lines ...string) Diagnostics {
+	var ds Diagnostics
+	for _, l := range lines {
+		ds = append(ds, Diagnostic{
+			Code: "HV000", Check: "analysis-summary", Severity: Note,
+			Program: program, Tag: -1, Message: l,
+		})
+	}
+	return ds
+}

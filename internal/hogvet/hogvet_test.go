@@ -1,0 +1,278 @@
+package hogvet_test
+
+import (
+	"strings"
+	"testing"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/hogvet"
+	"memhogs/internal/lang"
+	"memhogs/internal/workload"
+)
+
+func testTarget() compiler.Target { return compiler.DefaultTarget(16<<10, 4800) }
+
+func compileSrc(t *testing.T, src string) *compiler.Compiled {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := compiler.Compile(prog, testTarget())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+// vetTampered reruns the verifier over a hand-modified schedule.
+func vetTampered(c *compiler.Compiled, hints []compiler.Hint) hogvet.Diagnostics {
+	return hogvet.VetSchedule(c.Prog, c.Target, hints, hogvet.DefaultOptions())
+}
+
+const cleanSrc = `
+program clean
+array a[100000] of float64
+for i = 0 to 99999 {
+    a[i] = a[i] + 1 @ 10
+}
+`
+
+func TestCleanProgramHasNoDiagnostics(t *testing.T) {
+	c := compileSrc(t, cleanSrc)
+	ds := hogvet.Vet(c)
+	if len(ds) != 0 {
+		t.Fatalf("want no diagnostics, got:\n%s", ds)
+	}
+	if got := ds.Summary(); got != "clean: no diagnostics" {
+		t.Fatalf("Summary() = %q", got)
+	}
+	if ds.Max() >= hogvet.Note {
+		t.Fatalf("Max() = %v on empty diagnostics", ds.Max())
+	}
+}
+
+func TestCompiledBenchmarkSchedulesPassSelfCheck(t *testing.T) {
+	// The error-severity checks (HV001-known-bounds, HV002, HV003,
+	// HV004) must never fire on anything the compiler itself produced:
+	// errors are reserved for corrupted or hand-written schedules.
+	tgt := testTarget()
+	for _, spec := range workload.All() {
+		c := compiler.MustCompile(spec.Program(nil), tgt)
+		if errs := hogvet.Vet(c).AtLeast(hogvet.Error); len(errs) != 0 {
+			t.Errorf("%s: compiler-produced schedule has errors:\n%s", spec.Name, errs)
+		}
+	}
+}
+
+func TestReleaseBeforeLastUseError(t *testing.T) {
+	c := compileSrc(t, `
+program stencil
+array a[100000] of float64
+array b[100000] of float64
+for i = 1 to 99998 {
+    b[i] = a[i-1] + a[i] + a[i+1] @ 10
+}
+`)
+	hints := c.Hints()
+	tampered := false
+	for i := range hints {
+		h := &hints[i]
+		if h.Kind == compiler.HintRelease && h.Array.Name == "a" {
+			// The compiler put the release behind the trailing reference
+			// a[i-1]; move it forward to the leader's offset, as a buggy
+			// placement pass would.
+			h.Affine = lang.AddAffine(h.Affine, &lang.Affine{Const: 2})
+			tampered = true
+		}
+	}
+	if !tampered {
+		t.Fatal("no release hint for a found")
+	}
+	ds := vetTampered(c, hints).ByCode("HV001")
+	if len(ds) != 1 {
+		t.Fatalf("want 1 HV001, got:\n%s", vetTampered(c, hints))
+	}
+	if ds[0].Severity != hogvet.Error {
+		t.Fatalf("HV001 severity = %v, want error (all bounds known)", ds[0].Severity)
+	}
+	if !strings.Contains(ds[0].Message, "a[i-1]") {
+		t.Fatalf("HV001 message should name the trailing reference: %q", ds[0].Message)
+	}
+}
+
+func TestIndirectReleaseError(t *testing.T) {
+	c := compileSrc(t, `
+program ind
+array key[100000] of int64
+array rank[100000] of int64
+for i = 0 to 99999 {
+    rank[key[i]] = rank[key[i]] + 1 @ 10
+}
+`)
+	hints := c.Hints()
+	tampered := false
+	for i := range hints {
+		if hints[i].IndexArray != nil {
+			hints[i].Kind = compiler.HintRelease
+			tampered = true
+		}
+	}
+	if !tampered {
+		t.Fatal("no indirect hint found")
+	}
+	ds := vetTampered(c, hints).ByCode("HV002")
+	if len(ds) != 1 || ds[0].Severity != hogvet.Error {
+		t.Fatalf("want 1 HV002 error, got:\n%s", vetTampered(c, hints))
+	}
+}
+
+func TestPriorityMismatchError(t *testing.T) {
+	c := compileSrc(t, `
+program reuse
+array x[1000] of float64
+array y[100000] of float64
+for i = 0 to 99 {
+    for j = 0 to 999 {
+        y[i] = y[i] + x[j] @ 10
+    }
+}
+`)
+	hints := c.Hints()
+	tampered := false
+	for i := range hints {
+		if hints[i].Kind == compiler.HintRelease && hints[i].Array.Name == "x" {
+			hints[i].Priority += 3
+			tampered = true
+		}
+	}
+	if !tampered {
+		t.Fatal("no release hint for x found")
+	}
+	ds := vetTampered(c, hints).ByCode("HV003")
+	if len(ds) != 1 || ds[0].Severity != hogvet.Error {
+		t.Fatalf("want 1 HV003 error, got:\n%s", vetTampered(c, hints))
+	}
+	// The untampered schedule must cross-check cleanly: the verifier's
+	// independent equation-(2) implementation agrees with the compiler.
+	if ds := hogvet.Vet(c); len(ds.ByCode("HV003")) != 0 {
+		t.Fatalf("untampered schedule flagged:\n%s", ds)
+	}
+}
+
+func TestDuplicateTagError(t *testing.T) {
+	c := compileSrc(t, cleanSrc)
+	hints := c.Hints()
+	if len(hints) == 0 {
+		t.Fatal("no hints")
+	}
+	dup := hints[0]
+	dup.Affine = lang.AddAffine(dup.Affine, &lang.Affine{Const: 7}) // different region, same tag
+	hints = append(hints, dup)
+	ds := vetTampered(c, hints)
+	if got := ds.ByCode("HV004"); len(got) != 1 || got[0].Severity != hogvet.Error {
+		t.Fatalf("want 1 HV004 error, got:\n%s", ds)
+	}
+	if got := ds.ByCode("HV005"); len(got) != 0 {
+		t.Fatalf("distinct regions must not be HV005-shadowed, got:\n%s", ds)
+	}
+}
+
+func TestShadowedHintWarning(t *testing.T) {
+	c := compileSrc(t, cleanSrc)
+	hints := c.Hints()
+	if len(hints) == 0 {
+		t.Fatal("no hints")
+	}
+	dup := hints[0]
+	dup.Tag = 9999 // fresh tag, identical region and loop
+	hints = append(hints, dup)
+	ds := vetTampered(c, hints)
+	if got := ds.ByCode("HV005"); len(got) != 1 || got[0].Severity != hogvet.Warning {
+		t.Fatalf("want 1 HV005 warning, got:\n%s", ds)
+	}
+	if got := ds.ByCode("HV004"); len(got) != 0 {
+		t.Fatalf("distinct tags must not be HV004, got:\n%s", ds)
+	}
+}
+
+func TestFalseTemporalReuseOnSymbolicStride(t *testing.T) {
+	c := compiler.MustCompile(workload.Fftpde().Program(nil), testTarget())
+	ds := hogvet.Vet(c).ByCode("HV006")
+	if len(ds) != 1 || ds[0].Severity != hogvet.Warning {
+		t.Fatalf("want 1 HV006 warning on fftpde, got:\n%s", hogvet.Vet(c))
+	}
+	if ds[0].Array != "x" {
+		t.Fatalf("HV006 array = %q, want x", ds[0].Array)
+	}
+	// Adaptive codegen resolves symbolic strides at run time: the
+	// schedule it produces must be HV006-clean.
+	tgt := testTarget()
+	tgt.Adaptive = true
+	ca := compiler.MustCompile(workload.Fftpde().Program(nil), tgt)
+	if ds := hogvet.Vet(ca).ByCode("HV006"); len(ds) != 0 {
+		t.Fatalf("adaptive fftpde still flagged:\n%s", hogvet.Vet(ca))
+	}
+}
+
+func TestUnprovenReleaseRegionNote(t *testing.T) {
+	c := compileSrc(t, `
+program strided
+array a[100000] of float64
+array b[100000] of float64
+for i = 0 to 49999 {
+    b[i] = a[i] + a[2*i] @ 10
+}
+`)
+	ds := hogvet.Vet(c)
+	if got := ds.ByCode("HV009"); len(got) == 0 {
+		t.Fatalf("want HV009 notes for overlapping access patterns, got:\n%s", ds)
+	}
+	if ds.Max() > hogvet.Note {
+		t.Fatalf("HV009 must stay a note, got:\n%s", ds)
+	}
+}
+
+func TestFloodThresholdOption(t *testing.T) {
+	c := compiler.MustCompile(workload.Cgm().Program(nil), testTarget())
+	if got := hogvet.Vet(c).ByCode("HV007"); len(got) != 1 {
+		t.Fatalf("want 1 HV007 on cgm at default threshold, got:\n%s", hogvet.Vet(c))
+	}
+	opts := hogvet.DefaultOptions()
+	opts.FloodThreshold = 1e12
+	if got := hogvet.VetSchedule(c.Prog, c.Target, c.Hints(), opts).ByCode("HV007"); len(got) != 0 {
+		t.Fatalf("HV007 must respect FloodThreshold, got:\n%s", got)
+	}
+}
+
+func TestSeverityHelpers(t *testing.T) {
+	ds := hogvet.Diagnostics{
+		{Code: "HV008", Severity: hogvet.Note},
+		{Code: "HV007", Severity: hogvet.Warning},
+		{Code: "HV003", Severity: hogvet.Error},
+	}
+	if e, w, n := ds.Counts(); e != 1 || w != 1 || n != 1 {
+		t.Fatalf("Counts() = %d, %d, %d", e, w, n)
+	}
+	if ds.Max() != hogvet.Error {
+		t.Fatalf("Max() = %v", ds.Max())
+	}
+	if got := ds.AtLeast(hogvet.Warning); len(got) != 2 {
+		t.Fatalf("AtLeast(Warning) = %d findings", len(got))
+	}
+	if got := ds.Summary(); got != "1 error(s), 1 warning(s), 1 note(s)" {
+		t.Fatalf("Summary() = %q", got)
+	}
+	for _, want := range []string{"note", "warning", "error"} {
+		var s hogvet.Severity
+		switch want {
+		case "warning":
+			s = hogvet.Warning
+		case "error":
+			s = hogvet.Error
+		}
+		if s.String() != want {
+			t.Fatalf("Severity.String() = %q, want %q", s.String(), want)
+		}
+	}
+}

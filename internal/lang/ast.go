@@ -78,6 +78,7 @@ type Proc struct {
 	Name    string
 	Formals []string
 	Body    []Stmt
+	Line    int // source line of the "proc" keyword; 0 if synthesized
 }
 
 // Stmt is a statement: Loop, Assign, or Call.
@@ -95,6 +96,7 @@ type Loop struct {
 	Hi   Scalar
 	Step int64
 	Body []Stmt
+	Line int // source line of the "for" keyword; 0 if synthesized
 }
 
 func (*Loop) isStmt() {}
@@ -108,6 +110,7 @@ type Assign struct {
 	LHS    *Ref
 	RHS    ExprNode
 	CostNS float64
+	Line   int // source line of the statement; 0 if synthesized
 }
 
 func (*Assign) isStmt() {}

@@ -1,0 +1,61 @@
+// FuzzVet lives in an external test package: it drives the whole
+// parse -> compile -> verify pipeline, and internal/hogvet imports
+// internal/lang, so an in-package test would be an import cycle.
+package lang_test
+
+import (
+	"testing"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/hogvet"
+	"memhogs/internal/lang"
+)
+
+// FuzzVet extends the parser fuzz harness through the compiler and the
+// static verifier: for any accepted source, hogvet.Vet must never
+// panic, and its output must be deterministic — byte-identical across
+// repeated runs and across a reparse of the same source.
+func FuzzVet(f *testing.F) {
+	seeds := []string{
+		"program p\narray a[4] of float64\na[0] = 1",
+		"program p\nparam N\nknown N = 8\narray a[N] of float64\nfor i = 0 to N-1 { a[i] = a[i] + 1 @ 5 }",
+		"program p\nparam N, S\narray a[64] of int32\nfor i = 0 to N-1 { a[S*i] = 2 * a[S*i] }",
+		"program p\narray b[8] of int64\narray a[8] of float64\nfor i = 0 to 7 { a[b[i]] = a[b[i]] / 2 }",
+		"program p\nparam N\narray u[16] of float64\nproc f(n) { for i = 0 to n-1 { u[i] = 0 } }\ncall f(N/2)",
+		"program p\narray a[4][4] of complex128\nfor i = 1 to 2 { for j = 1 to 2 step 2 { a[i+1][j-1] = a[i][j] - 3 } }",
+		// Pathology shapes: symbolic stride (HV006), unknown bounds
+		// with a deep nest (HV007/HV008), overlapping patterns (HV009).
+		"program p\nparam nb, m, s\narray x[4096] of float64\nproc f(nb, m, s) { for b = 0 to nb-1 { for k = 0 to m-1 { x[s*b+k] = x[s*b+k] * 2 @ 7 } } }\ncall f(nb, m, s)",
+		"program p\nparam N\narray a[4096] of float64\nfor i = 0 to N-1 { for j = 0 to N-1 { for k = 0 to N-1 { a[k] = a[k] + 1 @ 3 } } }",
+		"program p\narray a[4096] of float64\narray b[4096] of float64\nfor i = 0 to 999 { b[i] = a[i] + a[2*i] @ 4 }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tgt := compiler.DefaultTarget(16<<10, 4800)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		c, err := compiler.Compile(prog, tgt)
+		if err != nil {
+			return // the compiler may reject what the parser accepts
+		}
+		out := hogvet.Vet(c).String()
+		if again := hogvet.Vet(c).String(); again != out {
+			t.Fatalf("vet not deterministic on same compilation:\n%q\nvs\n%q", out, again)
+		}
+		prog2, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		c2, err := compiler.Compile(prog2, tgt)
+		if err != nil {
+			t.Fatalf("recompile failed: %v", err)
+		}
+		if out2 := hogvet.Vet(c2).String(); out2 != out {
+			t.Fatalf("vet not deterministic across reparse:\n%q\nvs\n%q", out, out2)
+		}
+	})
+}

@@ -65,8 +65,23 @@ type parser struct {
 	formals []string
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// peek and next clamp at the trailing EOF sentinel: error paths may
+// call them after next() has already consumed it (e.g. a source
+// truncated mid-declaration).
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 func (p *parser) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
 }
@@ -225,11 +240,12 @@ func (p *parser) parseArray() error {
 }
 
 func (p *parser) parseProc() error {
+	line := p.peek().line
 	name, err := p.ident()
 	if err != nil {
 		return err
 	}
-	pr := &Proc{Name: name}
+	pr := &Proc{Name: name, Line: line}
 	if err := p.expect("("); err != nil {
 		return err
 	}
@@ -296,6 +312,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 }
 
 func (p *parser) parseFor() (Stmt, error) {
+	line := p.peek().line
 	p.pos++ // "for"
 	v, err := p.ident()
 	if err != nil {
@@ -331,7 +348,7 @@ func (p *parser) parseFor() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Loop{Var: v, Lo: lo, Hi: hi, Step: step, Body: body}, nil
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: step, Body: body, Line: line}, nil
 }
 
 func (p *parser) parseCall() (Stmt, error) {
@@ -370,6 +387,7 @@ func (p *parser) parseCall() (Stmt, error) {
 }
 
 func (p *parser) parseAssign() (Stmt, error) {
+	line := p.peek().line
 	lhs, err := p.parseRef(true)
 	if err != nil {
 		return nil, err
@@ -381,7 +399,7 @@ func (p *parser) parseAssign() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Assign{LHS: lhs, RHS: rhs}
+	a := &Assign{LHS: lhs, RHS: rhs, Line: line}
 	if p.accept("@") {
 		t := p.next()
 		if t.kind != tokNumber {

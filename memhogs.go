@@ -37,6 +37,7 @@ import (
 	"memhogs/internal/compiler"
 	"memhogs/internal/driver"
 	"memhogs/internal/experiments"
+	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
 	"memhogs/internal/lang"
 	"memhogs/internal/rt"
@@ -182,6 +183,94 @@ func (p *Program) Stats() Stats {
 		ZeroPriorityReleases: s.ZeroPrioReleases, ReusePriorityReleases: s.ReusePrioReleases,
 		MisdetectedReuse: s.MisdetectedReuse, UnknownBoundLoops: s.UnknownBoundLoops,
 	}
+}
+
+// VetFinding is one structured finding from the static hint-safety
+// verifier, in plain exported types.
+type VetFinding struct {
+	Code     string // stable check code, e.g. "HV006"
+	Check    string // short check name, e.g. "false-temporal-reuse"
+	Severity string // "note", "warning" or "error"
+	Position string // program:line (proc p)
+	Array    string // array the finding concerns, if any
+	Tag      int    // hint tag the finding concerns; -1 if none
+	Message  string
+	Detail   string
+	Fix      string
+}
+
+// VetReport is the verifier's output for one compiled program.
+type VetReport struct {
+	Program  string
+	Findings []VetFinding
+	Errors   int
+	Warnings int
+	Notes    int
+
+	text string
+}
+
+// HasErrors reports whether any finding is error-severity — the
+// condition under which hogc and memhog vet exit non-zero.
+func (r *VetReport) HasErrors() bool { return r.Errors > 0 }
+
+// Clean reports whether the schedule produced no findings at
+// warning-or-above severity.
+func (r *VetReport) Clean() bool { return r.Errors == 0 && r.Warnings == 0 }
+
+// String renders every finding followed by a summary line.
+func (r *VetReport) String() string { return r.text }
+
+func vetReport(name string, ds hogvet.Diagnostics) *VetReport {
+	r := &VetReport{Program: name, text: ds.String()}
+	r.Errors, r.Warnings, r.Notes = ds.Counts()
+	for i := range ds {
+		d := &ds[i]
+		r.Findings = append(r.Findings, VetFinding{
+			Code: d.Code, Check: d.Check, Severity: d.Severity.String(),
+			Position: d.Pos(), Array: d.Array, Tag: d.Tag,
+			Message: d.Message, Detail: d.Detail, Fix: d.Fix,
+		})
+	}
+	return r
+}
+
+// Vet runs the static hint-safety verifier (internal/hogvet) over the
+// compiled schedule: release-before-last-use, forbidden indirect
+// releases, priority consistency against equation (2), duplicate and
+// shadowed hints, false temporal reuse from symbolic strides (the
+// FFTPDE pathology) and hint floods under unknown bounds (the
+// CGM/MGRID overhead).
+func (p *Program) Vet() *VetReport {
+	return vetReport(p.name, hogvet.Vet(p.comp))
+}
+
+// VetWithStats is Vet with the compiler's analysis summary prepended
+// as HV000 notes, routed through the same formatter as real findings
+// (the hogc -stats view).
+func (p *Program) VetWithStats() *VetReport {
+	st := p.Stats()
+	notes := hogvet.InfoNotes(p.name,
+		fmt.Sprintf("analysis: %d nests, %d refs (%d indirect)", st.Nests, st.Refs, st.IndirectRefs),
+		fmt.Sprintf("inserted: %d prefetch, %d release (%d zero-priority, %d with reuse)",
+			st.PrefetchDirectives, st.ReleaseDirectives, st.ZeroPriorityReleases, st.ReusePriorityReleases),
+	)
+	return vetReport(p.name, append(notes, hogvet.Vet(p.comp)...))
+}
+
+// VetBenchmark compiles a built-in benchmark for the machine (Buffered
+// version, so the full prefetch and release schedule is present) and
+// runs the verifier over it.
+func VetBenchmark(name string, m Machine) (*VetReport, error) {
+	src, err := BenchmarkSource(name, m)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Compile(src, m, Buffered)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Vet(), nil
 }
 
 // RunOptions configures a Program run.
