@@ -37,9 +37,11 @@ examples:
 	go run ./examples/indirect
 	go run ./examples/timeline
 
-# Full Table-1 platform; 10-15 minutes.
+# Full Table-1 platform; 10-15 minutes serial. `-j 0` runs the
+# campaign's independent simulations on one worker per CPU with
+# byte-identical output.
 experiments:
-	go run ./cmd/memhog all
+	go run ./cmd/memhog -j 0 all
 
 # Check the paper's claims at full scale; exits non-zero on failure.
 verify:

@@ -26,6 +26,29 @@ import (
 
 func quickOpts() experiments.Opts { return experiments.Quick() }
 
+// benchCampaign runs the full Versions campaign (24 simulations, the
+// heaviest experiment) at one worker-pool size; comparing the two
+// benchmarks below measures the campaign engine's parallel speedup.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	o := quickOpts()
+	o.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunVersions(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSerial is the one-worker baseline.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel runs the same campaign with one worker per
+// CPU. On a >= 4-core machine expect well over 1.5x the serial
+// throughput; the runs are independent simulations, so scaling is
+// limited only by the compile cache's brief serialization.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }
+
 // BenchmarkTable1 renders the platform table (static).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {

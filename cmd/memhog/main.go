@@ -19,6 +19,8 @@
 //	-quick    use the scaled-down machine and benchmarks (seconds, not minutes)
 //	-quiet    suppress per-run progress lines
 //	-json     machine-readable output (run command)
+//	-j N      run campaign simulations on N workers (0 = one per CPU,
+//	          1 = serial); output is byte-identical at any setting
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the scaled-down machine and benchmarks")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON (run command only)")
+	workers := flag.Int("j", 0, "campaign worker pool size (0 = one per CPU, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -50,6 +53,7 @@ func main() {
 	if *quick {
 		machine = memhogs.TestMachine()
 	}
+	campaign := memhogs.Campaign{Quick: *quick, Workers: *workers, Progress: progress}
 
 	cmd := flag.Arg(0)
 	switch cmd {
@@ -124,7 +128,7 @@ func main() {
 		if flag.NArg() < 2 {
 			fatal("sensitivity: need a benchmark name")
 		}
-		out, err := memhogs.Sensitivity(flag.Arg(1), *quick, progress)
+		out, err := campaign.Sensitivity(flag.Arg(1))
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -158,7 +162,7 @@ func main() {
 		}
 		fmt.Print(out)
 	case "verify":
-		out, ok, err := memhogs.Verify(*quick, progress)
+		out, ok, err := campaign.Verify()
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -167,7 +171,7 @@ func main() {
 			os.Exit(1)
 		}
 	case "all":
-		out, err := memhogs.AllExperiments(*quick, progress)
+		out, err := campaign.All()
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -175,7 +179,7 @@ func main() {
 	default:
 		// Experiment ids (including extras like "locks" that are not
 		// part of the paper-order list).
-		out, err := memhogs.Experiment(cmd, *quick, progress)
+		out, err := campaign.Experiment(cmd)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -187,8 +191,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `memhog — "Taming the Memory Hogs" (OSDI 2000) reproduction
 
 usage:
-  memhog [-quick] <experiment>   one of: %v
-  memhog [-quick] all            every table and figure, paper order
+  memhog [-quick] [-j N] <experiment>   one of: %v
+  memhog [-quick] [-j N] all     every table and figure, paper order
   memhog [-quick] run <bench>    one benchmark in all four versions
   memhog [-quick] listing <bench> transformed code with inserted hints
   memhog [-quick] vet [bench...] static hint-safety diagnostics, exit 1 on errors

@@ -28,6 +28,31 @@ func TestSensitivityFacade(t *testing.T) {
 	}
 }
 
+func TestCampaignFacadeParallelExperiment(t *testing.T) {
+	// The Campaign facade must produce the same rendered experiment at
+	// any worker count (table3 rides on the heaviest campaign).
+	serial, err := Campaign{Quick: true, Workers: 1}.Experiment("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Campaign{Quick: true, Workers: 4}.Experiment("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("parallel table3 differs from serial:\n%s\nvs\n%s", parallel, serial)
+	}
+	if !strings.Contains(serial, "pages released") {
+		t.Errorf("table3 malformed:\n%s", serial)
+	}
+}
+
+func TestCampaignFacadeUnknownID(t *testing.T) {
+	if _, err := (Campaign{Quick: true}).Experiment("nosuch"); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
 func TestTimelineFacade(t *testing.T) {
 	out, err := Timeline("matvec", PrefetchOnly, TestMachine(), 3, 500)
 	if err != nil {

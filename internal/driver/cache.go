@@ -1,0 +1,110 @@
+package driver
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/workload"
+)
+
+// CompileCache memoizes compiler output across the runs of a
+// campaign, keyed by (spec name, bound params, compiler target). A
+// campaign recompiles identical programs many times — the sleep sweep
+// alone used to compile the same MATVEC binary for every sleep×mode
+// cell — and a Compiled is immutable once built (each Image.Run keeps
+// its own interpreter state), so one compilation can back any number
+// of concurrent runs.
+//
+// A CompileCache is safe for concurrent use. Compilation runs outside
+// the cache lock, at most once per key: concurrent requests for the
+// same key block on a per-entry once while distinct programs compile
+// in parallel.
+type CompileCache struct {
+	mu     sync.Mutex
+	m      map[compileKey]*cacheEntry
+	hits   int64
+	misses int64
+}
+
+// compileKey identifies one compilation. compiler.Target is a plain
+// value struct (scalars only), so the whole key is comparable; the
+// bound params are flattened into a canonical string.
+type compileKey struct {
+	name   string
+	params string
+	target compiler.Target
+}
+
+type cacheEntry struct {
+	once sync.Once
+	comp *compiler.Compiled
+	err  error
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{m: map[compileKey]*cacheEntry{}}
+}
+
+// CacheStats reports cache effectiveness. The counts are deterministic
+// for a fixed job set even under concurrency: exactly one miss is
+// charged per distinct key, no matter which run gets there first.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *CompileCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+func paramsKey(params map[string]int64) string {
+	if len(params) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(params[k], 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Compile returns the memoized compilation of spec for the given
+// bindings (nil = the spec's own Params) and target, compiling at
+// most once per key. Exported for harnesses that need the Compiled
+// itself (e.g. the vet cross-validation, which verifies the same
+// schedule its Buffered run executes).
+func (c *CompileCache) Compile(spec *workload.Spec, params map[string]int64, tgt compiler.Target) (*compiler.Compiled, error) {
+	if params == nil {
+		params = spec.Params
+	}
+	key := compileKey{name: spec.Name, params: paramsKey(params), target: tgt}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.comp, e.err = compiler.Compile(spec.Program(params), tgt)
+	})
+	return e.comp, e.err
+}

@@ -1,0 +1,111 @@
+package driver
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/rt"
+	"memhogs/internal/workload"
+)
+
+func scaledSpec(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	spec, err := workload.ScaledByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// The four program versions need only three compilations: O (no
+// hints) and P (prefetch only) are distinct targets, while R and B
+// share one (prefetch + release both on).
+func TestCompileCacheSharesTargets(t *testing.T) {
+	spec := scaledSpec(t, "matvec")
+	cache := NewCompileCache()
+	for _, mode := range []rt.Mode{rt.ModeOriginal, rt.ModePrefetch, rt.ModeAggressive, rt.ModeBuffered} {
+		cfg := TestRunConfig(mode)
+		cfg.RT = rt.DefaultConfig(mode)
+		cfg.Cache = cache
+		if _, err := Run(spec, cfg); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (O, P, and shared R/B)", st.Misses)
+	}
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (B reusing R's compilation)", st.Hits)
+	}
+}
+
+// A cached run must be indistinguishable from an uncached one.
+func TestCompileCacheResultsIdentical(t *testing.T) {
+	spec := scaledSpec(t, "embar")
+	cfg := TestRunConfig(rt.ModeBuffered)
+	cfg.RT = rt.DefaultConfig(rt.ModeBuffered)
+	plain, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = NewCompileCache()
+	cached, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run twice more off the warm cache: reuse must not perturb the run.
+	warm, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cached) {
+		t.Errorf("cached result differs from uncached:\n%+v\nvs\n%+v", cached, plain)
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Errorf("warm-cache result differs from uncached:\n%+v\nvs\n%+v", warm, plain)
+	}
+	if st := cfg.Cache.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+}
+
+// Concurrent requests for one key charge exactly one miss and all get
+// the same Compiled. Run with -race to check the entry handoff.
+func TestCompileCacheConcurrentSameKey(t *testing.T) {
+	spec := scaledSpec(t, "cgm")
+	kcfg := TestRunConfig(rt.ModeBuffered).Kernel
+	tgt := compiler.DefaultTarget(kcfg.PageSize, kcfg.UserMemPages)
+	cache := NewCompileCache()
+	const workers = 8
+	comps := make([]*compiler.Compiled, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			comp, err := cache.Compile(spec, nil, tgt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			comps[i] = comp
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if comps[i] != comps[0] {
+			t.Fatalf("worker %d got a different Compiled", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != workers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, workers-1)
+	}
+}

@@ -44,6 +44,12 @@ type RunConfig struct {
 	// ablations).
 	TargetTweak func(*compiler.Target)
 
+	// Cache, if non-nil, memoizes compilation across runs. Campaigns
+	// share one cache so each distinct (spec, params, target)
+	// combination compiles once; the key is built from the final
+	// target, so TargetTweak composes with caching.
+	Cache *CompileCache
+
 	// OnSystem, if non-nil, is invoked with the booted system before
 	// any process starts (trace recorders, extra instrumentation).
 	OnSystem func(*kernel.System)
@@ -137,7 +143,6 @@ func Run(spec *workload.Spec, cfg RunConfig) (*Result, error) {
 	if params == nil {
 		params = spec.Params
 	}
-	prog := spec.Program(params)
 
 	tgt := compiler.DefaultTarget(cfg.Kernel.PageSize, cfg.Kernel.UserMemPages)
 	tgt.Prefetch = cfg.Mode.UsesPrefetch()
@@ -145,7 +150,13 @@ func Run(spec *workload.Spec, cfg RunConfig) (*Result, error) {
 	if cfg.TargetTweak != nil {
 		cfg.TargetTweak(&tgt)
 	}
-	comp, err := compiler.Compile(prog, tgt)
+	var comp *compiler.Compiled
+	var err error
+	if cfg.Cache != nil {
+		comp, err = cfg.Cache.Compile(spec, params, tgt)
+	} else {
+		comp, err = compiler.Compile(spec.Program(params), tgt)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("compile %s: %w", spec.Name, err)
 	}

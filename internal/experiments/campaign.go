@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// This file is the campaign engine: every experiment campaign
+// (Versions, Interactive, Sweep, sensitivity, vet cross-validation)
+// enumerates its planned runs up front as jobs and hands them to a
+// worker pool. Each simulation run is a self-contained deterministic
+// discrete-event simulation, so execution order cannot affect any
+// result; each job writes into a slot assigned at enumeration time,
+// and the assembled dataset — and therefore every rendered figure and
+// table — is byte-identical whether the campaign ran on one worker or
+// many.
+
+// progressSink serializes campaign progress output. Workers complete
+// runs in nondeterministic order, so each line must be written
+// atomically and its text must be computed only from the job's own
+// run — never from another job's result, which may not exist yet.
+type progressSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newProgressSink(w io.Writer) *progressSink { return &progressSink{w: w} }
+
+func (p *progressSink) printf(format string, args ...interface{}) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, format, args...)
+}
+
+// job is one schedulable unit of a campaign: one simulation run (or
+// one baseline measurement). run stores its result through a pointer
+// chosen when the job was enumerated and returns any error already
+// wrapped with the job's identity.
+type job struct {
+	label string
+	run   func() error
+}
+
+// workers resolves the pool size: the Workers knob if set, otherwise
+// GOMAXPROCS.
+func (o Opts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// runJobs executes the jobs on a pool of o.workers() goroutines.
+// Workers pull jobs in enumeration order. The first failure cancels
+// every job not yet started; jobs already in flight run to completion.
+// The returned error is deterministic even when several jobs fail:
+// because jobs are started in order and started jobs always finish
+// and record, the lowest-index failing job is always among the
+// recorded failures, and it is the one reported.
+func runJobs(o Opts, jobs []job) error {
+	n := o.workers()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for i := range jobs {
+			if err := jobs[i].run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		firstIdx = len(jobs)
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := jobs[i].run(); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -48,19 +48,43 @@ type Opts struct {
 	// Horizon bounds the repeat-mode interactive experiments.
 	Horizon sim.Time
 
+	// CompletionHorizon bounds the run-to-completion experiments
+	// (Versions, sensitivity, vet cross-validation). Zero means the
+	// paper's full 30 simulated minutes; Quick sets a small bound so a
+	// misbehaving scaled benchmark cannot run half an hour of virtual
+	// time in CI.
+	CompletionHorizon sim.Time
+
 	// Benches filters the benchmark set (nil = all six).
 	Benches []string
 
+	// Workers sizes the campaign worker pool (the memhog -j flag):
+	// 0 means GOMAXPROCS, 1 forces serial execution. Every run is an
+	// isolated deterministic simulation, so rendered figures and
+	// tables are byte-identical at any setting.
+	Workers int
+
 	// Progress, if non-nil, receives one line per completed run.
+	// Writes are serialized; under a parallel campaign the lines
+	// arrive in completion order, but each line's text depends only on
+	// its own run.
 	Progress io.Writer
 }
+
+// aloneResponseSweeps is how many measured sweeps the run-alone
+// baseline averages over. Both the sleep sweep (Figures 1 and 10a)
+// and the fixed-sleep interactive campaign (Figure 10b/c) must use
+// the same value: they once differed (5 vs 6), quietly normalizing
+// Fig 10(a) and 10(b) against different baselines.
+const aloneResponseSweeps = 6
 
 // Default returns the paper's full-scale experiment configuration.
 func Default() Opts {
 	return Opts{
-		Sleep:      5 * sim.Second,
-		SleepTimes: []sim.Time{0, 1 * sim.Second, 2 * sim.Second, 5 * sim.Second, 10 * sim.Second, 15 * sim.Second, 20 * sim.Second, 30 * sim.Second},
-		Horizon:    25 * sim.Second,
+		Sleep:             5 * sim.Second,
+		SleepTimes:        []sim.Time{0, 1 * sim.Second, 2 * sim.Second, 5 * sim.Second, 10 * sim.Second, 15 * sim.Second, 20 * sim.Second, 30 * sim.Second},
+		Horizon:           25 * sim.Second,
+		CompletionHorizon: 30 * 60 * sim.Second,
 	}
 }
 
@@ -69,9 +93,22 @@ func Quick() Opts {
 	o := Default()
 	o.Scaled = true
 	o.Horizon = 10 * sim.Second
+	// The slowest scaled run-to-completion benchmark (MGRID-O) needs
+	// ~4.3 virtual seconds; 60 s is a >10x safety margin that still
+	// keeps a runaway benchmark out of CI.
+	o.CompletionHorizon = 60 * sim.Second
 	o.Sleep = 1 * sim.Second
 	o.SleepTimes = []sim.Time{0, 500 * sim.Millisecond, 1 * sim.Second, 2 * sim.Second}
 	return o
+}
+
+// completionHorizon returns the bound for run-to-completion
+// experiments, defaulting to the paper's 30 simulated minutes.
+func (o Opts) completionHorizon() sim.Time {
+	if o.CompletionHorizon > 0 {
+		return o.CompletionHorizon
+	}
+	return 30 * 60 * sim.Second
 }
 
 func (o Opts) kernelConfig() kernel.Config {
@@ -122,29 +159,54 @@ type Versions struct {
 	Results map[string]map[rt.Mode]*driver.Result
 }
 
-// RunVersions collects the Versions dataset.
+// RunVersions collects the Versions dataset. The (benchmark × mode)
+// grid is enumerated up front and executed on the campaign worker
+// pool; a shared compile cache means each benchmark compiles once per
+// distinct target (O and P each, R and B together) instead of once
+// per run.
 func RunVersions(o Opts) (*Versions, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
 	v := &Versions{Opts: o, Specs: specs, Results: map[string]map[rt.Mode]*driver.Result{}}
-	for _, spec := range specs {
+	cache := driver.NewCompileCache()
+	sink := newProgressSink(o.Progress)
+	slots := make([]*driver.Result, len(specs)*len(Modes))
+	var jobs []job
+	for i, spec := range specs {
+		for j, mode := range Modes {
+			slot := &slots[i*len(Modes)+j]
+			spec, mode := spec, mode
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("versions %s/%s", spec.Name, mode),
+				run: func() error {
+					cfg := driver.RunConfig{
+						Kernel:           o.kernelConfig(),
+						Mode:             mode,
+						RT:               rt.DefaultConfig(mode),
+						Horizon:          o.completionHorizon(),
+						InteractiveSleep: o.Sleep,
+						Cache:            cache,
+					}
+					r, err := driver.Run(spec, cfg)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", spec.Name, mode, err)
+					}
+					*slot = r
+					sink.printf("versions %s/%s: %v\n", spec.Name, mode, r.Elapsed)
+					return nil
+				},
+			})
+		}
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
 		v.Results[spec.Name] = map[rt.Mode]*driver.Result{}
-		for _, mode := range Modes {
-			cfg := driver.RunConfig{
-				Kernel:           o.kernelConfig(),
-				Mode:             mode,
-				RT:               rt.DefaultConfig(mode),
-				Horizon:          30 * 60 * sim.Second,
-				InteractiveSleep: o.Sleep,
-			}
-			r, err := driver.Run(spec, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", spec.Name, mode, err)
-			}
-			v.Results[spec.Name][mode] = r
-			o.progressf("versions %s/%s: %v\n", spec.Name, mode, r.Elapsed)
+		for j, mode := range Modes {
+			v.Results[spec.Name][mode] = slots[i*len(Modes)+j]
 		}
 	}
 	return v, nil
@@ -161,32 +223,63 @@ type Interactive struct {
 	Results map[string]map[rt.Mode]*driver.Result
 }
 
-// RunInteractive collects the Interactive dataset.
+// RunInteractive collects the Interactive dataset: the run-alone
+// baseline plus the (benchmark × mode) grid, all enumerated as jobs
+// for the campaign worker pool. The progress line reports the run's
+// own mean response (not the alone-normalized ratio the serial runner
+// used to print: the baseline is a concurrent job, and a progress
+// label must never depend on another job's result).
 func RunInteractive(o Opts) (*Interactive, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
 	d := &Interactive{Opts: o, Specs: specs, Results: map[string]map[rt.Mode]*driver.Result{}}
-	d.Alone = driver.AloneResponse(o.kernelConfig(), o.Sleep, 6)
-	for _, spec := range specs {
+	cache := driver.NewCompileCache()
+	sink := newProgressSink(o.Progress)
+	slots := make([]*driver.Result, len(specs)*len(Modes))
+	jobs := []job{{
+		label: "interactive alone baseline",
+		run: func() error {
+			d.Alone = driver.AloneResponse(o.kernelConfig(), o.Sleep, aloneResponseSweeps)
+			sink.printf("interactive alone: %v\n", d.Alone)
+			return nil
+		},
+	}}
+	for i, spec := range specs {
+		for j, mode := range Modes {
+			slot := &slots[i*len(Modes)+j]
+			spec, mode := spec, mode
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("interactive %s/%s", spec.Name, mode),
+				run: func() error {
+					cfg := driver.RunConfig{
+						Kernel:           o.kernelConfig(),
+						Mode:             mode,
+						RT:               rt.DefaultConfig(mode),
+						Repeat:           true,
+						Horizon:          o.Horizon,
+						InteractiveSleep: o.Sleep,
+						Cache:            cache,
+					}
+					r, err := driver.Run(spec, cfg)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", spec.Name, mode, err)
+					}
+					*slot = r
+					sink.printf("interactive %s/%s: %v\n", spec.Name, mode, r.Interactive.MeanResponse)
+					return nil
+				},
+			})
+		}
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
 		d.Results[spec.Name] = map[rt.Mode]*driver.Result{}
-		for _, mode := range Modes {
-			cfg := driver.RunConfig{
-				Kernel:           o.kernelConfig(),
-				Mode:             mode,
-				RT:               rt.DefaultConfig(mode),
-				Repeat:           true,
-				Horizon:          o.Horizon,
-				InteractiveSleep: o.Sleep,
-			}
-			r, err := driver.Run(spec, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", spec.Name, mode, err)
-			}
-			d.Results[spec.Name][mode] = r
-			o.progressf("interactive %s/%s: %.1fx\n", spec.Name, mode,
-				float64(r.Interactive.MeanResponse)/float64(d.Alone))
+		for j, mode := range Modes {
+			d.Results[spec.Name][mode] = slots[i*len(Modes)+j]
 		}
 	}
 	return d, nil
@@ -204,7 +297,10 @@ type Sweep struct {
 }
 
 // RunSweep collects the Sweep dataset using the MATVEC kernel, as in
-// the paper.
+// the paper. Jobs are one deduplicated alone baseline per distinct
+// sleep time plus the (sleep × mode) grid; the shared compile cache
+// means MATVEC compiles once per distinct target instead of once per
+// cell.
 func RunSweep(o Opts) (*Sweep, error) {
 	spec, err := workload.ByName("matvec")
 	if o.Scaled {
@@ -222,32 +318,67 @@ func RunSweep(o Opts) (*Sweep, error) {
 	for _, mode := range Modes {
 		s.Response[mode] = map[sim.Time]sim.Time{}
 	}
+	cache := driver.NewCompileCache()
+	sink := newProgressSink(o.Progress)
+
+	type cell struct {
+		alone    sim.Time
+		response []sim.Time // indexed like Modes
+	}
+	// Preallocated to full capacity: jobs hold pointers into the
+	// backing array, which therefore must never be reallocated.
+	cells := make([]cell, 0, len(o.SleepTimes))
+	index := map[sim.Time]int{}
+	var jobs []job
 	for _, sleep := range o.SleepTimes {
-		horizon := o.Horizon
-		if min := 3*sleep + 10*sim.Second; horizon < min {
-			horizon = min
+		if _, dup := index[sleep]; dup {
+			continue // deduplicated: one baseline and one run grid per distinct sleep
 		}
-		if o.Scaled {
-			if min := 3*sleep + 3*sim.Second; horizon < min {
-				horizon = min
-			}
+		index[sleep] = len(cells)
+		cells = append(cells, cell{response: make([]sim.Time, len(Modes))})
+		c := &cells[len(cells)-1]
+		horizon := sweepHorizon(o, sleep)
+		sleep := sleep
+		jobs = append(jobs, job{
+			label: fmt.Sprintf("sweep alone sleep=%v", sleep),
+			run: func() error {
+				c.alone = driver.AloneResponse(o.kernelConfig(), sleep, aloneResponseSweeps)
+				sink.printf("sweep alone sleep=%v: %v\n", sleep, c.alone)
+				return nil
+			},
+		})
+		for j, mode := range Modes {
+			j, mode := j, mode
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("sweep sleep=%v %s", sleep, mode),
+				run: func() error {
+					cfg := driver.RunConfig{
+						Kernel:           o.kernelConfig(),
+						Mode:             mode,
+						RT:               rt.DefaultConfig(mode),
+						Repeat:           true,
+						Horizon:          horizon,
+						InteractiveSleep: sleep,
+						Cache:            cache,
+					}
+					r, err := driver.Run(spec, cfg)
+					if err != nil {
+						return fmt.Errorf("sweep %s sleep=%v: %w", mode, sleep, err)
+					}
+					c.response[j] = r.Interactive.MeanResponse
+					sink.printf("sweep sleep=%v %s: %v\n", sleep, mode, r.Interactive.MeanResponse)
+					return nil
+				},
+			})
 		}
-		s.Alone[sleep] = driver.AloneResponse(o.kernelConfig(), sleep, 5)
-		for _, mode := range Modes {
-			cfg := driver.RunConfig{
-				Kernel:           o.kernelConfig(),
-				Mode:             mode,
-				RT:               rt.DefaultConfig(mode),
-				Repeat:           true,
-				Horizon:          horizon,
-				InteractiveSleep: sleep,
-			}
-			r, err := driver.Run(spec, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s sleep=%v: %w", mode, sleep, err)
-			}
-			s.Response[mode][sleep] = r.Interactive.MeanResponse
-			o.progressf("sweep sleep=%v %s: %v\n", sleep, mode, r.Interactive.MeanResponse)
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
+	}
+	for sleep, i := range index {
+		s.Alone[sleep] = cells[i].alone
+		for j, mode := range Modes {
+			s.Response[mode][sleep] = cells[i].response[j]
 		}
 	}
 	return s, nil

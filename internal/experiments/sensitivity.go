@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"memhogs/internal/driver"
 	"memhogs/internal/metrics"
@@ -43,66 +44,85 @@ func RunSensitivity(o Opts, bench string, fractions []float64) (*Sensitivity, er
 	if len(fractions) == 0 {
 		fractions = []float64{0.25, 0.5, 0.75, 1.0, 1.25}
 	}
-	// Discover the data size from a probe run's compile stats.
+	// Discover the data size from a probe run's compile stats. The
+	// probe is a sequencing point: every sweep cell needs dataPages,
+	// so only the (fraction × mode) grid behind it is parallelized.
 	kcfg := o.kernelConfig()
+	cache := driver.NewCompileCache()
+	sink := newProgressSink(o.Progress)
 	probe, err := driver.Run(spec, driver.RunConfig{
 		Kernel:           kcfg,
 		Mode:             rt.ModeOriginal,
 		RT:               rt.DefaultConfig(rt.ModeOriginal),
-		Horizon:          time30min,
+		Horizon:          o.completionHorizon(),
 		InteractiveSleep: -1,
+		Cache:            cache,
 	})
 	if err != nil {
 		return nil, err
 	}
 	dataPages := probe.TotalPages
 
-	s := &Sensitivity{Opts: o, Bench: bench}
-	for _, frac := range fractions {
+	sweepModes := []rt.Mode{rt.ModePrefetch, rt.ModeBuffered}
+	s := &Sensitivity{Opts: o, Bench: bench, Points: make([]SensitivityPoint, len(fractions))}
+	var jobs []job
+	for i, frac := range fractions {
 		pages := int(float64(dataPages) * frac)
 		if pages < 64 {
 			pages = 64
 		}
-		pt := SensitivityPoint{
+		s.Points[i] = SensitivityPoint{
 			MemPages:  pages,
 			DataPages: dataPages,
 			Elapsed:   map[rt.Mode]sim.Time{},
 			Stolen:    map[rt.Mode]int64{},
 			Released:  map[rt.Mode]int64{},
 		}
-		for _, mode := range []rt.Mode{rt.ModePrefetch, rt.ModeBuffered} {
-			cfg := driver.RunConfig{
-				Kernel:           kcfg,
-				Mode:             mode,
-				RT:               rt.DefaultConfig(mode),
-				Horizon:          time30min,
-				InteractiveSleep: -1,
-			}
-			cfg.Kernel.UserMemPages = pages
-			// Keep the daemon thresholds proportionate.
-			cfg.Kernel.MinFreePages = pages / 64
-			if cfg.Kernel.MinFreePages < 8 {
-				cfg.Kernel.MinFreePages = 8
-			}
-			cfg.Kernel.TargetFreePages = 4 * cfg.Kernel.MinFreePages
-			cfg.Kernel.Daemon.MinFree = cfg.Kernel.MinFreePages
-			cfg.Kernel.Daemon.TargetFree = cfg.Kernel.TargetFreePages
-			cfg.Kernel.PM.MinFree = cfg.Kernel.MinFreePages
-			r, err := driver.Run(spec, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("sensitivity %s mem=%d: %w", mode, pages, err)
-			}
-			pt.Elapsed[mode] = r.Elapsed
-			pt.Stolen[mode] = r.Daemon.Stolen
-			pt.Released[mode] = r.Releaser.Freed
-			o.progressf("sensitivity %s mem=%dp %s: %v\n", bench, pages, mode, r.Elapsed)
+		pt := &s.Points[i]
+		var mu sync.Mutex // guards pt's maps across this point's two mode jobs
+		for _, mode := range sweepModes {
+			pages, mode := pages, mode
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("sensitivity %s mem=%dp %s", bench, pages, mode),
+				run: func() error {
+					cfg := driver.RunConfig{
+						Kernel:           kcfg,
+						Mode:             mode,
+						RT:               rt.DefaultConfig(mode),
+						Horizon:          o.completionHorizon(),
+						InteractiveSleep: -1,
+						Cache:            cache,
+					}
+					cfg.Kernel.UserMemPages = pages
+					// Keep the daemon thresholds proportionate.
+					cfg.Kernel.MinFreePages = pages / 64
+					if cfg.Kernel.MinFreePages < 8 {
+						cfg.Kernel.MinFreePages = 8
+					}
+					cfg.Kernel.TargetFreePages = 4 * cfg.Kernel.MinFreePages
+					cfg.Kernel.Daemon.MinFree = cfg.Kernel.MinFreePages
+					cfg.Kernel.Daemon.TargetFree = cfg.Kernel.TargetFreePages
+					cfg.Kernel.PM.MinFree = cfg.Kernel.MinFreePages
+					r, err := driver.Run(spec, cfg)
+					if err != nil {
+						return fmt.Errorf("sensitivity %s mem=%d: %w", mode, pages, err)
+					}
+					mu.Lock()
+					pt.Elapsed[mode] = r.Elapsed
+					pt.Stolen[mode] = r.Daemon.Stolen
+					pt.Released[mode] = r.Releaser.Freed
+					mu.Unlock()
+					sink.printf("sensitivity %s mem=%dp %s: %v\n", bench, pages, mode, r.Elapsed)
+					return nil
+				},
+			})
 		}
-		s.Points = append(s.Points, pt)
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
-
-const time30min = 30 * 60 * sim.Second
 
 // FormatSensitivity renders the sweep.
 func FormatSensitivity(s *Sensitivity) *metrics.Table {

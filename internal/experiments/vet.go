@@ -8,7 +8,6 @@ import (
 	"memhogs/internal/hogvet"
 	"memhogs/internal/metrics"
 	"memhogs/internal/rt"
-	"memhogs/internal/sim"
 )
 
 // VetCorrelation pairs one class of static verifier findings on one
@@ -62,7 +61,10 @@ func vetCounters(r *driver.Result) []struct {
 // RunVetCrossValidation runs the verifier over every benchmark's
 // compiled schedule and each benchmark once in Buffered mode, then
 // checks that every predictive finding corresponds to a nonzero
-// simulator counter.
+// simulator counter. One job per benchmark runs on the campaign
+// worker pool; the correlation rows and the Clean list are assembled
+// afterwards in benchmark order, so they are identical at any worker
+// count.
 func RunVetCrossValidation(o Opts) (*VetCrossValidation, error) {
 	specs, err := o.specs()
 	if err != nil {
@@ -74,33 +76,56 @@ func RunVetCrossValidation(o Opts) (*VetCrossValidation, error) {
 		Reports: map[string]hogvet.Diagnostics{},
 		Runs:    map[string]*driver.Result{},
 	}
-	for _, spec := range specs {
-		tgt := compiler.DefaultTarget(kcfg.PageSize, kcfg.UserMemPages)
-		comp, err := compiler.Compile(spec.Program(nil), tgt)
-		if err != nil {
-			return nil, fmt.Errorf("compile %s: %w", spec.Name, err)
-		}
-		cv.Reports[spec.Name] = hogvet.Vet(comp)
+	sink := newProgressSink(o.Progress)
+	cache := driver.NewCompileCache()
+	reports := make([]hogvet.Diagnostics, len(specs))
+	runs := make([]*driver.Result, len(specs))
+	var jobs []job
+	for i, spec := range specs {
+		i, spec := i, spec
+		jobs = append(jobs, job{
+			label: fmt.Sprintf("vet %s", spec.Name),
+			run: func() error {
+				// The default target equals the Buffered run's target
+				// (prefetch and release both on), so the verified
+				// schedule and the executed schedule are one cached
+				// compilation.
+				tgt := compiler.DefaultTarget(kcfg.PageSize, kcfg.UserMemPages)
+				comp, err := cache.Compile(spec, nil, tgt)
+				if err != nil {
+					return fmt.Errorf("compile %s: %w", spec.Name, err)
+				}
+				reports[i] = hogvet.Vet(comp)
 
-		cfg := driver.RunConfig{
-			Kernel:           kcfg,
-			Mode:             rt.ModeBuffered,
-			RT:               rt.DefaultConfig(rt.ModeBuffered),
-			Horizon:          30 * 60 * sim.Second,
-			InteractiveSleep: -1,
-		}
-		r, err := driver.Run(spec, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s/B: %w", spec.Name, err)
-		}
-		cv.Runs[spec.Name] = r
-		o.progressf("vet %s: %s\n", spec.Name, cv.Reports[spec.Name].Summary())
-		if len(cv.Reports[spec.Name].AtLeast(hogvet.Warning)) == 0 {
+				cfg := driver.RunConfig{
+					Kernel:           kcfg,
+					Mode:             rt.ModeBuffered,
+					RT:               rt.DefaultConfig(rt.ModeBuffered),
+					Horizon:          o.completionHorizon(),
+					InteractiveSleep: -1,
+					Cache:            cache,
+				}
+				r, err := driver.Run(spec, cfg)
+				if err != nil {
+					return fmt.Errorf("%s/B: %w", spec.Name, err)
+				}
+				runs[i] = r
+				sink.printf("vet %s: %s\n", spec.Name, reports[i].Summary())
+				return nil
+			},
+		})
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		cv.Reports[spec.Name] = reports[i]
+		cv.Runs[spec.Name] = runs[i]
+		if len(reports[i].AtLeast(hogvet.Warning)) == 0 {
 			cv.Clean = append(cv.Clean, spec.Name)
 		}
-
-		for _, c := range vetCounters(r) {
-			n := len(cv.Reports[spec.Name].ByCode(c.code))
+		for _, c := range vetCounters(runs[i]) {
+			n := len(reports[i].ByCode(c.code))
 			if n == 0 {
 				continue
 			}

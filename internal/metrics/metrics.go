@@ -45,15 +45,23 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// String renders the table.
+// String renders the table. Rows may be ragged: a row with more cells
+// than there are headers gets the extra columns rendered under empty
+// headings rather than panicking.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
+	ncols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -102,19 +110,47 @@ func Bar(frac float64, maxWidth int) string {
 }
 
 // StackedBar renders segments proportional to their values against
-// total, using one rune per segment type.
+// total, using one rune per segment type. Segment widths use
+// largest-remainder rounding: each segment gets the floor of its exact
+// width, and the leftover cells (so the bar totals the rounded overall
+// length) go to the segments with the largest fractional parts, ties
+// broken toward earlier segments. Flooring alone shaved up to one cell
+// off every segment, so a bar of many small segments could render
+// visibly shorter than a single segment of the same total.
 func StackedBar(values []float64, runes []rune, total float64, maxWidth int) string {
 	if total <= 0 {
 		return ""
 	}
-	var b strings.Builder
+	n := make([]int, len(values))
+	frac := make([]float64, len(values))
+	cells, sum := 0, 0.0
 	for i, v := range values {
-		n := int(v / total * float64(maxWidth))
+		if v < 0 {
+			v = 0
+		}
+		exact := v / total * float64(maxWidth)
+		n[i] = int(exact)
+		frac[i] = exact - float64(n[i])
+		cells += n[i]
+		sum += exact
+	}
+	for extra := int(sum + 0.5); cells < extra; cells++ {
+		best := -1
+		for i, f := range frac {
+			if best < 0 || f > frac[best] {
+				best = i
+			}
+		}
+		n[best]++
+		frac[best] = -1
+	}
+	var b strings.Builder
+	for i := range values {
 		r := '?'
 		if i < len(runes) {
 			r = runes[i]
 		}
-		for j := 0; j < n; j++ {
+		for j := 0; j < n[i]; j++ {
 			b.WriteRune(r)
 		}
 	}

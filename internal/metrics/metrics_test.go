@@ -38,6 +38,22 @@ func TestTableNotesAndCounts(t *testing.T) {
 	}
 }
 
+func TestTableRaggedRow(t *testing.T) {
+	// A row with more cells than headers must render (not panic), with
+	// the extra cells laid out as additional columns.
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("x", "y", "overflow-cell")
+	tbl.AddRow("p")
+	out := tbl.String()
+	if !strings.Contains(out, "overflow-cell") {
+		t.Fatalf("extra cell missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if got := len(lines); got != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", got, out)
+	}
+}
+
 func TestFloatFormatting(t *testing.T) {
 	tbl := NewTable("", "v")
 	tbl.AddRow(3.14159)
@@ -65,6 +81,27 @@ func TestStackedBar(t *testing.T) {
 	}
 	if StackedBar([]float64{1}, []rune{'a'}, 0, 10) != "" {
 		t.Error("zero total not handled")
+	}
+}
+
+func TestStackedBarRounding(t *testing.T) {
+	// Largest-remainder rounding: {1,2,3}/6 over 10 cells is exactly
+	// {1.67, 3.33, 5}; the floors {1,3,5} leave one cell, which goes to
+	// the segment with the largest fractional part (the first).
+	out := StackedBar([]float64{1, 2, 3}, []rune{'a', 'b', 'c'}, 6, 10)
+	if out != "aabbbccccc" {
+		t.Errorf("StackedBar = %q, want aabbbccccc", out)
+	}
+	// The old floor-per-segment code rendered many small equal segments
+	// one cell short each; the bar must still total ~maxWidth.
+	out = StackedBar([]float64{1, 1, 1, 1, 1, 1, 1}, []rune("abcdefg"), 7, 10)
+	if len(out) != 10 {
+		t.Errorf("bar length = %d (%q), want 10", len(out), out)
+	}
+	// Ties in fractional part break toward earlier segments.
+	out = StackedBar([]float64{1, 1}, []rune{'a', 'b'}, 2, 5)
+	if out != "aaabb" {
+		t.Errorf("tie break = %q, want aaabb", out)
 	}
 }
 

@@ -446,16 +446,34 @@ func RunBenchmarkOpts(name string, v Version, m Machine, opts RunOptions) (*Repo
 	return report(name, v, res), nil
 }
 
-// Experiment regenerates one of the paper's tables or figures and
-// returns the rendered text. Valid ids: table1, table2, table3, fig1,
-// fig7, fig8, fig9, fig10a, fig10b, fig10c. quick selects the scaled
-// campaign; progress (may be nil) receives per-run status lines.
-func Experiment(id string, quick bool, progress io.Writer) (string, error) {
+// Campaign configures a batch of experiment runs. The zero value is
+// the paper's full-scale serial campaign; set Quick for the scaled
+// machine and Workers to run the campaign's independent simulations on
+// a worker pool (0 means one worker per CPU, 1 forces serial). Every
+// run is an isolated deterministic simulation, so the rendered tables
+// and figures are byte-identical at any worker count; only the order
+// of Progress lines varies.
+type Campaign struct {
+	Quick    bool
+	Workers  int
+	Progress io.Writer
+}
+
+func (c Campaign) opts() experiments.Opts {
 	o := experiments.Default()
-	if quick {
+	if c.Quick {
 		o = experiments.Quick()
 	}
-	o.Progress = progress
+	o.Workers = c.Workers
+	o.Progress = c.Progress
+	return o
+}
+
+// Experiment regenerates one of the paper's tables or figures and
+// returns the rendered text. Valid ids: table1, table2, table3, fig1,
+// fig7, fig8, fig9, fig10a, fig10b, fig10c, locks.
+func (c Campaign) Experiment(id string) (string, error) {
+	o := c.opts()
 	switch id {
 	case "table1":
 		return experiments.Table1(o).String(), nil
@@ -505,6 +523,13 @@ func Experiment(id string, quick bool, progress io.Writer) (string, error) {
 	}
 }
 
+// Experiment regenerates one table or figure with a serial campaign.
+// quick selects the scaled campaign; progress (may be nil) receives
+// per-run status lines. See Campaign for parallel execution.
+func Experiment(id string, quick bool, progress io.Writer) (string, error) {
+	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Experiment(id)
+}
+
 // ExperimentIDs lists the reproducible tables and figures in paper
 // order.
 func ExperimentIDs() []string {
@@ -536,18 +561,19 @@ func Duel(benchA, benchB string, m Machine) (string, error) {
 // Sensitivity sweeps the machine's memory size for one benchmark,
 // comparing prefetch-only against buffered releasing from
 // memory-starved to data-fits (a study the paper's fixed 75 MB
-// platform leaves open). quick uses the scaled benchmark.
-func Sensitivity(bench string, quick bool, progress io.Writer) (string, error) {
-	o := experiments.Default()
-	if quick {
-		o = experiments.Quick()
-	}
-	o.Progress = progress
-	s, err := experiments.RunSensitivity(o, bench, nil)
+// platform leaves open).
+func (c Campaign) Sensitivity(bench string) (string, error) {
+	s, err := experiments.RunSensitivity(c.opts(), bench, nil)
 	if err != nil {
 		return "", err
 	}
 	return experiments.FormatSensitivity(s).String(), nil
+}
+
+// Sensitivity runs Campaign.Sensitivity serially. quick uses the
+// scaled benchmark.
+func Sensitivity(bench string, quick bool, progress io.Writer) (string, error) {
+	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Sensitivity(bench)
 }
 
 // Timeline runs one benchmark version with a concurrent interactive
@@ -587,12 +613,8 @@ func Timeline(name string, v Version, m Machine, seconds int, sleepMS int) (stri
 // Verify runs the three experiment campaigns and checks the paper's
 // headline claims against the reproduction, returning the rendered
 // claim table and whether every claim held.
-func Verify(quick bool, progress io.Writer) (string, bool, error) {
-	o := experiments.Default()
-	if quick {
-		o = experiments.Quick()
-	}
-	o.Progress = progress
+func (c Campaign) Verify() (string, bool, error) {
+	o := c.opts()
 	v, err := experiments.RunVersions(o)
 	if err != nil {
 		return "", false, err
@@ -613,17 +635,18 @@ func Verify(quick bool, progress io.Writer) (string, bool, error) {
 	return experiments.FormatClaims(claims), all, nil
 }
 
-// AllExperiments regenerates every table and figure in paper order,
-// sharing the underlying runs between the figures the paper derives
-// from the same data (Figure 7/8/9 and Table 3 share one campaign;
-// Figures 1 and 10(a) share the sleep sweep; Figures 10(b) and 10(c)
-// share the interactive campaign).
-func AllExperiments(quick bool, progress io.Writer) (string, error) {
-	o := experiments.Default()
-	if quick {
-		o = experiments.Quick()
-	}
-	o.Progress = progress
+// Verify runs Campaign.Verify serially.
+func Verify(quick bool, progress io.Writer) (string, bool, error) {
+	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Verify()
+}
+
+// All regenerates every table and figure in paper order, sharing the
+// underlying runs between the figures the paper derives from the same
+// data (Figure 7/8/9 and Table 3 share one campaign; Figures 1 and
+// 10(a) share the sleep sweep; Figures 10(b) and 10(c) share the
+// interactive campaign).
+func (c Campaign) All() (string, error) {
+	o := c.opts()
 
 	var b strings.Builder
 	emit := func(s string) { b.WriteString(s); b.WriteString("\n") }
@@ -659,4 +682,10 @@ func AllExperiments(quick bool, progress io.Writer) (string, error) {
 	emit(experiments.Fig10b(inter).String())
 	emit(experiments.Fig10c(inter).String())
 	return b.String(), nil
+}
+
+// AllExperiments runs Campaign.All serially. quick selects the scaled
+// campaign.
+func AllExperiments(quick bool, progress io.Writer) (string, error) {
+	return Campaign{Quick: quick, Workers: 1, Progress: progress}.All()
 }
