@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet lint bench examples experiments verify golden clean
+.PHONY: all build test vet hogvet lint bench examples experiments verify golden trace clean
 
 build:
 	go build ./...
@@ -51,6 +51,15 @@ verify:
 # changes.
 golden:
 	go run ./cmd/gen-golden
+
+# Flight-recorder smoke test: the Chrome trace export must be valid
+# JSON and byte-identical at any worker-pool setting.
+trace: build
+	@go run ./cmd/memhog -quick -quiet -j 1 trace matvec B > /tmp/memhog-trace-j1.json
+	@go run ./cmd/memhog -quick -quiet -j 4 trace matvec B > /tmp/memhog-trace-j4.json
+	@cmp /tmp/memhog-trace-j1.json /tmp/memhog-trace-j4.json
+	@python3 -m json.tool /tmp/memhog-trace-j1.json > /dev/null
+	@echo "trace: deterministic, valid JSON ($$(wc -c < /tmp/memhog-trace-j1.json) bytes)"
 
 clean:
 	go clean ./...

@@ -10,6 +10,7 @@
 //	memhog listing <benchmark>  # transformed code with inserted hints
 //	memhog vet [benchmark...]   # static hint-safety diagnostics (default: all)
 //	memhog timeline <benchmark> [O|P|R|B]  # memory dynamics over time
+//	memhog trace <benchmark> [O|P|R|B]     # event-level flight recorder
 //	memhog sensitivity <benchmark>         # memory-size sweep
 //	memhog duel <a> <b>         # two memory hogs sharing the machine
 //	memhog list                 # benchmark names
@@ -19,6 +20,7 @@
 //	-quick    use the scaled-down machine and benchmarks (seconds, not minutes)
 //	-quiet    suppress per-run progress lines
 //	-json     machine-readable output (run command)
+//	-log      trace command: emit the merged event log instead of Chrome JSON
 //	-j N      run campaign simulations on N workers (0 = one per CPU,
 //	          1 = serial); output is byte-identical at any setting
 package main
@@ -37,6 +39,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the scaled-down machine and benchmarks")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON (run command only)")
+	asLog := flag.Bool("log", false, "trace: emit the merged event log instead of Chrome JSON")
 	workers := flag.Int("j", 0, "campaign worker pool size (0 = one per CPU, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
@@ -137,21 +140,7 @@ func main() {
 		if flag.NArg() < 2 {
 			fatal("timeline: need a benchmark name")
 		}
-		version := memhogs.Buffered
-		if flag.NArg() >= 3 {
-			switch flag.Arg(2) {
-			case "O":
-				version = memhogs.Original
-			case "P":
-				version = memhogs.PrefetchOnly
-			case "R":
-				version = memhogs.Aggressive
-			case "B":
-				version = memhogs.Buffered
-			default:
-				fatal("unknown version %q (want O, P, R or B)", flag.Arg(2))
-			}
-		}
+		version := versionArg(2)
 		seconds := 20
 		if *quick {
 			seconds = 5
@@ -161,6 +150,23 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Print(out)
+	case "trace":
+		if flag.NArg() < 2 {
+			fatal("trace: need a benchmark name")
+		}
+		version := versionArg(2)
+		tr, err := memhogs.Trace(flag.Arg(1), version, machine, 0, -1)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *asLog {
+			fmt.Print(tr.Log)
+		} else {
+			os.Stdout.Write(tr.ChromeJSON)
+			if !*quiet {
+				fmt.Fprint(os.Stderr, tr.Summary)
+			}
+		}
 	case "verify":
 		out, ok, err := campaign.Verify()
 		if err != nil {
@@ -187,6 +193,26 @@ func main() {
 	}
 }
 
+// versionArg parses the optional version letter at argument position i
+// (default B, the paper's best version).
+func versionArg(i int) memhogs.Version {
+	if flag.NArg() <= i {
+		return memhogs.Buffered
+	}
+	switch flag.Arg(i) {
+	case "O":
+		return memhogs.Original
+	case "P":
+		return memhogs.PrefetchOnly
+	case "R":
+		return memhogs.Aggressive
+	case "B":
+		return memhogs.Buffered
+	}
+	fatal("unknown version %q (want O, P, R or B)", flag.Arg(i))
+	panic("unreachable")
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `memhog — "Taming the Memory Hogs" (OSDI 2000) reproduction
 
@@ -197,6 +223,8 @@ usage:
   memhog [-quick] listing <bench> transformed code with inserted hints
   memhog [-quick] vet [bench...] static hint-safety diagnostics, exit 1 on errors
   memhog [-quick] timeline <bench> [O|P|R|B]  memory dynamics over time
+  memhog [-quick] trace <bench> [O|P|R|B]  flight recorder: Chrome trace JSON
+                                 on stdout (-log for the merged event log)
   memhog [-quick] sensitivity <bench>  memory-size sweep (P vs B crossover)
   memhog [-quick] duel <a> <b>   two memory hogs sharing the machine
   memhog [-quick] verify         check the paper's claims, exit 1 on failure

@@ -1,0 +1,198 @@
+// Package events is the memory system's flight recorder: a typed,
+// capacity-bounded ring buffer of decision-point events (faults,
+// daemon sweeps and steals, releaser outcomes, run-time hint
+// filtering, shared-page updates) stamped with virtual time, plus an
+// exact per-kind counter registry that keeps counting even after the
+// ring starts dropping.
+//
+// The sampling recorder in internal/trace answers "what did the gauges
+// look like every N milliseconds"; this package answers "what exactly
+// happened, in order". Recording is off by default: every layer holds
+// a *Recorder that is nil until kernel.System.SetEvents installs one,
+// and Emit on a nil Recorder returns immediately, so instrumented hot
+// paths cost one call and one branch when disabled (see
+// BenchmarkEmitDisabled).
+package events
+
+import (
+	"memhogs/internal/sim"
+)
+
+// Kind is the event type. The set mirrors the decision points of every
+// layer the paper's figures talk about.
+type Kind uint8
+
+// Event kinds. A and B are kind-specific values; see argLabels.
+const (
+	FaultSoft         Kind = iota // vm: soft fault (A=1 when daemon-caused)
+	FaultRescue                   // vm: free-list rescue (A=1 when on a prefetch)
+	FaultHard                     // vm: fault requiring disk I/O
+	PageIn                        // vm: page became resident (A: 0 fault, 1 readahead, 2 prefetch)
+	DaemonWake                    // daemon: activation (A=free pages)
+	DaemonClear                   // daemon: cleared a simulated reference bit
+	DaemonSteal                   // daemon: stole a page (A=free after, B=1 for a maxrss trim)
+	DaemonDonated                 // daemon: reclaimed a volunteered page (reactive §2.2)
+	ReleaserFree                  // releaser: freed a requested page (B=1 when dirty)
+	ReleaserSkipRef               // releaser: skipped, referenced since the request
+	ReleaserSkipGone              // releaser: skipped, no longer resident
+	RTPrefetchFilter              // rt: prefetch hint dropped by the bitmap check
+	RTPrefetchIssue               // rt: prefetch hint handed to a worker
+	RTPrefetchDrop                // rt: prefetch work queue overflow
+	RTReleaseDup                  // rt: one-request-behind duplicate drop
+	RTReleaseNotRes               // rt: bitmap says the page is not in memory
+	RTReleaseBuffer               // rt: hint parked in a priority queue (A=priority)
+	RTReleaseOverflow             // rt: buffered queue hit its cap
+	RTReleaseIssue                // rt: batch sent to the OS (A=#pages)
+	RTPressureDrain               // rt: near-limit drain (A=current, B=limit)
+	PMRefresh                     // pdpm: shared-page update (A=current, B=limit)
+	PMPrefetchCall                // pdpm: prefetch system call (A=vm.PrefetchResult)
+	PMReleaseCall                 // pdpm: release system call (A=#pages)
+	KindCount
+)
+
+var kindNames = [KindCount]string{
+	FaultSoft:         "fault-soft",
+	FaultRescue:       "fault-rescue",
+	FaultHard:         "fault-hard",
+	PageIn:            "page-in",
+	DaemonWake:        "daemon-wake",
+	DaemonClear:       "daemon-clear",
+	DaemonSteal:       "daemon-steal",
+	DaemonDonated:     "daemon-donated",
+	ReleaserFree:      "releaser-free",
+	ReleaserSkipRef:   "releaser-skip-ref",
+	ReleaserSkipGone:  "releaser-skip-gone",
+	RTPrefetchFilter:  "rt-prefetch-filter",
+	RTPrefetchIssue:   "rt-prefetch-issue",
+	RTPrefetchDrop:    "rt-prefetch-drop",
+	RTReleaseDup:      "rt-release-dup",
+	RTReleaseNotRes:   "rt-release-notresident",
+	RTReleaseBuffer:   "rt-release-buffer",
+	RTReleaseOverflow: "rt-release-overflow",
+	RTReleaseIssue:    "rt-release-issue",
+	RTPressureDrain:   "rt-pressure-drain",
+	PMRefresh:         "pm-refresh",
+	PMPrefetchCall:    "pm-prefetch-call",
+	PMReleaseCall:     "pm-release-call",
+}
+
+// argLabels gives the A/B values a name in exported output; "" means
+// the value is meaningless for the kind and is omitted.
+var argLabels = [KindCount][2]string{
+	FaultSoft:       {"daemon_caused", ""},
+	FaultRescue:     {"prefetch", ""},
+	PageIn:          {"via", ""},
+	DaemonWake:      {"free", ""},
+	DaemonSteal:     {"free", "trim"},
+	ReleaserFree:    {"", "dirty"},
+	RTReleaseBuffer: {"prio", ""},
+	RTReleaseIssue:  {"pages", ""},
+	RTPressureDrain: {"current", "limit"},
+	PMRefresh:       {"current", "limit"},
+	PMPrefetchCall:  {"result", ""},
+	PMReleaseCall:   {"pages", ""},
+}
+
+// String returns the kind's stable exported name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Actor  string // emitting track: a process name or "pageoutd"/"releaserd"
+	Target string // secondary subject (e.g. the steal victim); "" if none
+	Page   int    // virtual page number; -1 if not page-scoped
+	A, B   int64  // kind-specific values, see argLabels
+}
+
+// Counts is the exact per-kind totals, unaffected by ring drops.
+type Counts [KindCount]int64
+
+// Get returns the total for one kind.
+func (c Counts) Get(k Kind) int64 { return c[k] }
+
+// Recorder is the flight recorder. The zero value is not usable; use
+// New. A nil *Recorder is valid everywhere and records nothing.
+type Recorder struct {
+	sim *sim.Sim
+	buf []Event
+	// The ring keeps the most recent len(buf) events: head is the index
+	// of the oldest retained event, n the number retained.
+	head    int
+	n       int
+	dropped int64
+	counts  Counts
+}
+
+// DefaultCapacity bounds the ring when New is given capacity <= 0.
+const DefaultCapacity = 1 << 16
+
+// New creates a recorder stamping events with s's virtual clock,
+// retaining at most capacity events (older ones are dropped and
+// counted, flight-recorder style).
+func New(s *sim.Sim, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{sim: s, buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. Safe (and free) on a nil Recorder.
+func (r *Recorder) Emit(k Kind, actor, target string, page int, a, b int64) {
+	if r == nil {
+		return
+	}
+	r.counts[k]++
+	e := Event{At: r.sim.Now(), Kind: k, Actor: actor, Target: target, Page: page, A: a, B: b}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		r.n++
+		return
+	}
+	// Full: overwrite the oldest.
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len returns the number of events retained in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Dropped returns how many events the bounded ring discarded.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Counts returns the exact per-kind totals (valid even after drops).
+func (r *Recorder) Counts() Counts {
+	if r == nil {
+		return Counts{}
+	}
+	return r.counts
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}

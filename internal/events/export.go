@@ -1,0 +1,135 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Log renders the retained events as a human-readable merged log: one
+// line per event, all tracks interleaved in virtual-time order,
+// followed by the exact counter registry and the drop count.
+func (r *Recorder) Log() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "%12s  %-11s %-22s", e.At, e.Actor, e.Kind)
+		if e.Page >= 0 {
+			fmt.Fprintf(&b, " page=%d", e.Page)
+		}
+		if e.Target != "" {
+			fmt.Fprintf(&b, " of=%s", e.Target)
+		}
+		labels := argLabels[e.Kind]
+		if labels[0] != "" {
+			fmt.Fprintf(&b, " %s=%d", labels[0], e.A)
+		}
+		if labels[1] != "" {
+			fmt.Fprintf(&b, " %s=%d", labels[1], e.B)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(r.CounterSummary())
+	return b.String()
+}
+
+// CounterSummary renders the counter registry: one line per nonzero
+// kind in declaration order, plus retained/dropped totals.
+func (r *Recorder) CounterSummary() string {
+	var b strings.Builder
+	counts := r.Counts()
+	var total int64
+	for k := Kind(0); k < KindCount; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		total += counts[k]
+		fmt.Fprintf(&b, "counter %-22s %d\n", k, counts[k])
+	}
+	fmt.Fprintf(&b, "events %d recorded, %d retained, %d dropped by the ring\n",
+		total, r.Len(), r.Dropped())
+	return b.String()
+}
+
+// Chrome renders the retained events as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing): one thread track per
+// actor, instant events for decisions, and a counter track per process
+// from the shared-page refreshes (usage vs limit over time). The JSON
+// is built by hand with fixed key order so the bytes are fully
+// deterministic.
+func (r *Recorder) Chrome() []byte {
+	var b strings.Builder
+	evs := r.Events()
+
+	// Assign one tid per actor in order of first appearance.
+	tids := map[string]int{}
+	var actors []string
+	for _, e := range evs {
+		if _, ok := tids[e.Actor]; !ok {
+			tids[e.Actor] = len(tids) + 1
+			actors = append(actors, e.Actor)
+		}
+	}
+
+	b.WriteString("{\"traceEvents\":[\n")
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"memhogs"}}`)
+	for _, a := range actors {
+		fmt.Fprintf(&b, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}",
+			tids[a], strconv.Quote(a))
+	}
+	for _, e := range evs {
+		ts := float64(e.At) / 1e3 // ns -> us
+		if e.Kind == PMRefresh {
+			// Counter track: shared-page usage vs limit per process.
+			fmt.Fprintf(&b, ",\n{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"current\":%d,\"limit\":%d}}",
+				strconv.Quote("mem["+e.Actor+"]"), ts, tids[e.Actor], e.A, e.B)
+			continue
+		}
+		fmt.Fprintf(&b, ",\n{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{",
+			strconv.Quote(e.Kind.String()), ts, tids[e.Actor])
+		first := true
+		arg := func(key string, val string) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%s:%s", strconv.Quote(key), val)
+		}
+		if e.Page >= 0 {
+			arg("page", strconv.Itoa(e.Page))
+		}
+		if e.Target != "" {
+			arg("of", strconv.Quote(e.Target))
+		}
+		labels := argLabels[e.Kind]
+		if labels[0] != "" {
+			arg(labels[0], strconv.FormatInt(e.A, 10))
+		}
+		if labels[1] != "" {
+			arg(labels[1], strconv.FormatInt(e.B, 10))
+		}
+		b.WriteString("}}")
+	}
+	b.WriteString("\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{")
+	counts := r.Counts()
+	var keys []string
+	kv := map[string]int64{}
+	for k := Kind(0); k < KindCount; k++ {
+		if counts[k] != 0 {
+			keys = append(keys, k.String())
+			kv[k.String()] = counts[k]
+		}
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d", strconv.Quote(k), kv[k])
+	}
+	if len(keys) > 0 {
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "\"dropped\":%d}\n}\n", r.Dropped())
+	return []byte(b.String())
+}

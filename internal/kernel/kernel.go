@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memhogs/internal/disk"
+	"memhogs/internal/events"
 	"memhogs/internal/mem"
 	"memhogs/internal/pageout"
 	"memhogs/internal/pdpm"
@@ -20,6 +21,10 @@ type System struct {
 	Disks    *disk.Array
 	Daemon   *pageout.Daemon
 	Releaser *pageout.Releaser
+
+	// Events is the flight recorder, nil (recording off) unless
+	// SetEvents installed one.
+	Events *events.Recorder
 
 	cpus       *sim.Sem
 	DaemonTime [vm.NumBuckets]sim.Time // CPU consumed by the two daemons
@@ -66,6 +71,20 @@ func NewSystem(cfg Config) *System {
 		return &execCtx{sys: sys, proc: p, times: &sys.DaemonTime, flush: func() {}}
 	})
 	return sys
+}
+
+// SetEvents installs the flight recorder on every layer: the daemons,
+// all existing address spaces, and (through System.Events) every
+// process and run-time layer created afterwards. Call it before
+// processes start — typically from driver.RunConfig.OnSystem — so the
+// counter registry agrees with the run's statistics.
+func (sys *System) SetEvents(r *events.Recorder) {
+	sys.Events = r
+	sys.Daemon.Events = r
+	sys.Releaser.Events = r
+	for _, p := range sys.procs {
+		p.AS.Events = r
+	}
 }
 
 // Run executes the simulation until idle, the horizon, or a Stop. It
@@ -151,6 +170,7 @@ func (sys *System) NewProcess(name string, npages int) *Process {
 	}
 	p := &Process{Sys: sys, Name: name}
 	p.AS = vm.NewAS(name, sys.nextID, npages, sys.swapCursor, sys.Phys, sys.Disks, sys.Cfg.VM)
+	p.AS.Events = sys.Events
 	sys.nextID++
 	// Offset swap bases by a small prime so different processes do not
 	// stripe-align with each other.

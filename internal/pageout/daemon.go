@@ -14,6 +14,7 @@ package pageout
 
 import (
 	"memhogs/internal/disk"
+	"memhogs/internal/events"
 	"memhogs/internal/mem"
 	"memhogs/internal/sim"
 	"memhogs/internal/vm"
@@ -64,6 +65,9 @@ type Daemon struct {
 	kicked  bool
 	Stats   DaemonStats
 	Enabled bool
+
+	// Events is the flight recorder; nil disables recording.
+	Events *events.Recorder
 }
 
 // NewDaemon creates the paging daemon; Start must be called with the
@@ -129,6 +133,7 @@ func (d *Daemon) loop(p *sim.Proc) {
 		}
 		d.kicked = false
 		d.Stats.Activations++
+		d.Events.Emit(events.DaemonWake, "pageoutd", "", -1, int64(d.phys.FreeCount()), 0)
 		d.scan(p)
 	}
 }
@@ -172,6 +177,7 @@ func (d *Daemon) askDonors(p *sim.Proc) {
 				continue
 			}
 			d.Stats.Donated++
+			d.Events.Emit(events.DaemonDonated, "pageoutd", dn.AS.OwnerName(), vpn, int64(d.phys.FreeCount()), 0)
 			if dirty {
 				d.Stats.Writebacks++
 				dn.AS.Stats.Writebacks++
@@ -236,6 +242,7 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			// a soft fault to revalidate it.
 			as.ClearValid(vpn, vm.InvalidDaemon)
 			d.Stats.Invalidations++
+			d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 0, 0)
 			continue
 		}
 		if pte.Why != vm.InvalidDaemon {
@@ -244,12 +251,14 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			// outright.
 			as.MarkClockCandidate(vpn)
 			d.Stats.Invalidations++
+			d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 1, 0)
 			continue
 		}
 		// Still invalid since the last pass: steal it.
 		freed, dirty := as.TryReclaim(vpn, mem.FreedDaemon)
 		if freed {
 			d.Stats.Stolen++
+			d.Events.Emit(events.DaemonSteal, "pageoutd", as.OwnerName(), vpn, int64(d.phys.FreeCount()), 0)
 			if dirty {
 				d.Stats.Writebacks++
 				as.Stats.Writebacks++
@@ -276,6 +285,7 @@ func (d *Daemon) trimMaxRSS(p *sim.Proc) {
 			continue
 		}
 		d.Stats.Activations++
+		d.Events.Emit(events.DaemonWake, "pageoutd", as.OwnerName(), -1, int64(d.phys.FreeCount()), 1)
 		as.Memlock.Acquire(p)
 		n := as.NumPages()
 		for vpn := 0; vpn < n && as.Resident > as.MaxRSS; vpn++ {
@@ -288,17 +298,20 @@ func (d *Daemon) trimMaxRSS(p *sim.Proc) {
 			if pte.Valid {
 				as.ClearValid(vpn, vm.InvalidDaemon)
 				d.Stats.Invalidations++
+				d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 0, 0)
 				continue
 			}
 			if pte.Why != vm.InvalidDaemon {
 				as.MarkClockCandidate(vpn)
 				d.Stats.Invalidations++
+				d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 1, 0)
 				continue
 			}
 			freed, dirty := as.TryReclaim(vpn, mem.FreedDaemon)
 			if freed {
 				d.Stats.Stolen++
 				d.Stats.Trims++
+				d.Events.Emit(events.DaemonSteal, "pageoutd", as.OwnerName(), vpn, int64(d.phys.FreeCount()), 1)
 				if dirty {
 					d.Stats.Writebacks++
 					as.Stats.Writebacks++

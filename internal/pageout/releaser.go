@@ -2,6 +2,7 @@ package pageout
 
 import (
 	"memhogs/internal/disk"
+	"memhogs/internal/events"
 	"memhogs/internal/mem"
 	"memhogs/internal/sim"
 	"memhogs/internal/vm"
@@ -43,6 +44,9 @@ type Releaser struct {
 	wake  *sim.Waitq
 
 	Stats ReleaserStats
+
+	// Events is the flight recorder; nil disables recording.
+	Events *events.Recorder
 }
 
 // NewReleaser creates the releaser; Start must be called before the
@@ -108,6 +112,7 @@ func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
 			pte := req.as.PTE(vpn)
 			if !pte.Present || pte.Busy {
 				r.Stats.SkippedGone++
+				r.Events.Emit(events.ReleaserSkipGone, "releaserd", req.as.OwnerName(), vpn, 0, 0)
 				continue
 			}
 			if pte.Valid {
@@ -116,11 +121,17 @@ func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
 				// a prefetch or a real reference) since the time of
 				// the request".
 				r.Stats.SkippedRef++
+				r.Events.Emit(events.ReleaserSkipRef, "releaserd", req.as.OwnerName(), vpn, 0, 0)
 				continue
 			}
 			freed, dirty := req.as.TryReclaim(vpn, mem.FreedRelease)
 			if freed {
 				r.Stats.Freed++
+				var d int64
+				if dirty {
+					d = 1
+				}
+				r.Events.Emit(events.ReleaserFree, "releaserd", req.as.OwnerName(), vpn, 0, d)
 				if dirty {
 					r.Stats.Writebacks++
 					req.as.Stats.Writebacks++

@@ -14,6 +14,7 @@
 package pdpm
 
 import (
+	"memhogs/internal/events"
 	"memhogs/internal/mem"
 	"memhogs/internal/pageout"
 	"memhogs/internal/sim"
@@ -153,6 +154,10 @@ func (pm *PM) refresh() {
 		limit = 0
 	}
 	pm.shared.Limit = limit
+	// The recorder lives on the AS so the PM sees it however it was
+	// installed (before or after Attach).
+	pm.as.Events.Emit(events.PMRefresh, pm.as.OwnerName(), "", -1,
+		int64(pm.shared.Current), int64(pm.shared.Limit))
 }
 
 // PageIn implements vm.Watcher.
@@ -188,6 +193,7 @@ func (pm *PM) Prefetch(x vm.Exec, vpn int) vm.PrefetchResult {
 	pm.Stats.PrefetchRequests++
 	x.System(pm.cfg.PrefetchCall)
 	res := pm.as.Prefetch(x, vpn)
+	pm.as.Events.Emit(events.PMPrefetchCall, pm.as.OwnerName(), "", vpn, int64(res), 0)
 	switch res {
 	case vm.PrefetchAlreadyIn:
 		pm.Stats.PrefetchAlreadyIn++
@@ -209,6 +215,7 @@ func (pm *PM) Prefetch(x vm.Exec, vpn int) vm.PrefetchResult {
 func (pm *PM) Release(x vm.Exec, vpns []int) {
 	pm.Stats.ReleaseRequests++
 	pm.Stats.ReleasePages += int64(len(vpns))
+	pm.as.Events.Emit(events.PMReleaseCall, pm.as.OwnerName(), "", -1, int64(len(vpns)), 0)
 	x.System(pm.cfg.ReleaseCall)
 	batch := make([]int, 0, len(vpns))
 	for _, vpn := range vpns {

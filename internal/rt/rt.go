@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"memhogs/internal/compiler"
+	"memhogs/internal/events"
 	"memhogs/internal/kernel"
 	"memhogs/internal/pageout"
 	"memhogs/internal/pdpm"
@@ -139,6 +140,10 @@ type Layer struct {
 	lastRel map[int]int64
 	queues  map[int]*relQueue
 
+	// ev is the system's flight recorder, captured at New; nil when
+	// recording is off.
+	ev *events.Recorder
+
 	work     []workItem
 	workWait *sim.Waitq
 
@@ -170,6 +175,7 @@ func New(p *kernel.Process, pm *pdpm.PM, cfg Config) *Layer {
 		cfg:      cfg,
 		p:        p,
 		pm:       pm,
+		ev:       p.Sys.Events,
 		lastRel:  map[int]int64{},
 		queues:   map[int]*relQueue{},
 		workWait: sim.NewWaitq(p.Name + ".rtwork"),
@@ -275,13 +281,16 @@ func (l *Layer) Prefetch(tag int, pages []int64) {
 		// needed."
 		if l.pm.Shared().Test(p) {
 			l.Stats.PrefetchFiltered++
+			l.ev.Emit(events.RTPrefetchFilter, l.p.Name, "", p, 0, 0)
 			continue
 		}
 		if len(l.work) >= l.cfg.MaxPfQueue {
 			l.Stats.PrefetchDropped++
+			l.ev.Emit(events.RTPrefetchDrop, l.p.Name, "", p, 0, 0)
 			continue
 		}
 		l.Stats.PrefetchIssued++
+		l.ev.Emit(events.RTPrefetchIssue, l.p.Name, "", p, 0, 0)
 		l.work = append(l.work, workItem{kind: workPf, page: p})
 		l.workWait.WakeOne()
 	}
@@ -307,6 +316,7 @@ func (l *Layer) Release(tag int, prio int, page int64) {
 	}
 	if prev == page {
 		l.Stats.ReleaseDupDropped++
+		l.ev.Emit(events.RTReleaseDup, l.p.Name, "", int(page), 0, 0)
 		return
 	}
 	l.lastRel[tag] = page
@@ -319,6 +329,7 @@ func (l *Layer) Release(tag int, prio int, page int64) {
 	// bitvector to make sure that the pages are in memory."
 	if !l.pm.Shared().Test(p) {
 		l.Stats.ReleaseNotResident++
+		l.ev.Emit(events.RTReleaseNotRes, l.p.Name, "", p, 0, 0)
 		return
 	}
 
@@ -336,11 +347,13 @@ func (l *Layer) Release(tag int, prio int, page int64) {
 	}
 	if len(q.pages) >= l.cfg.MaxQueue {
 		l.Stats.ReleaseOverflow++
+		l.ev.Emit(events.RTReleaseOverflow, l.p.Name, "", q.pages[0], 0, 0)
 		copy(q.pages, q.pages[1:])
 		q.pages = q.pages[:len(q.pages)-1]
 	}
 	q.pages = append(q.pages, p)
 	l.Stats.ReleaseBuffered++
+	l.ev.Emit(events.RTReleaseBuffer, l.p.Name, "", p, int64(prio), 0)
 	if l.cfg.Mode != ModeReactive {
 		// Reactive mode never releases pro-actively; pages leave only
 		// when the daemon asks through the donor callback.
@@ -363,6 +376,10 @@ func (l *Layer) checkPressure() {
 // Flush-like paths).
 func (l *Layer) checkPressureForced() {
 	l.Stats.PressureDrains++
+	if l.ev != nil {
+		sp := l.pm.Shared()
+		l.ev.Emit(events.RTPressureDrain, l.p.Name, "", -1, int64(sp.Current), int64(sp.Limit))
+	}
 	need := l.cfg.ReleaseBatch
 	var drained []int
 
@@ -413,6 +430,7 @@ func (l *Layer) checkPressureForced() {
 // release requests to the OS").
 func (l *Layer) issueRelease(pages []int) {
 	l.Stats.ReleaseIssued += int64(len(pages))
+	l.ev.Emit(events.RTReleaseIssue, l.p.Name, "", -1, int64(len(pages)), 0)
 	l.work = append(l.work, workItem{kind: workRel, pages: pages})
 	l.workWait.WakeOne()
 }

@@ -14,11 +14,15 @@ import (
 	"memhogs/internal/sim"
 )
 
-// Sample is one point in time.
+// Sample is one point in time. Resident is parallel to the prefix of
+// Recorder.Names that existed when the sample was taken: processes are
+// only ever appended, so Resident[i] always belongs to Names[i], and a
+// sample taken before process i was created simply has
+// len(Resident) <= i.
 type Sample struct {
 	At        sim.Time
 	FreePages int
-	Resident  []int // parallel to Recorder.Names
+	Resident  []int // parallel to a prefix of Recorder.Names
 	Stolen    int64 // cumulative pages stolen by the paging daemon
 	Released  int64 // cumulative pages freed by the releaser
 }
@@ -33,14 +37,16 @@ type Recorder struct {
 	Samples []Sample
 }
 
-// Attach starts sampling sys every interval of virtual time. Sampling
-// stops when Stop is called or the simulation ends (a pending sample
-// event never blocks Sim.Stop).
+// Attach starts sampling sys every interval of virtual time, taking
+// the first sample immediately so even a run shorter than one interval
+// records its initial state. Sampling stops when Stop is called or the
+// simulation ends (a pending sample event never blocks Sim.Stop).
 func Attach(sys *kernel.System, interval sim.Time) *Recorder {
 	if interval <= 0 {
 		interval = 100 * sim.Millisecond
 	}
 	r := &Recorder{sys: sys, interval: interval}
+	r.sample()
 	r.arm()
 	return r
 }
@@ -59,12 +65,12 @@ func (r *Recorder) arm() {
 }
 
 func (r *Recorder) sample() {
+	// Names grows append-only, keyed by process creation order (the
+	// kernel never removes processes), so the Resident columns of
+	// samples taken before a process existed stay aligned.
 	procs := r.sys.Procs()
-	if len(r.Names) != len(procs) {
-		r.Names = r.Names[:0]
-		for _, p := range procs {
-			r.Names = append(r.Names, p.Name)
-		}
+	for len(r.Names) < len(procs) {
+		r.Names = append(r.Names, procs[len(r.Names)].Name)
 	}
 	s := Sample{
 		At:        r.sys.Now(),
@@ -111,17 +117,27 @@ func (r *Recorder) Render(maxRows int) string {
 		stride = (len(samples) + maxRows - 1) / maxRows
 	}
 	const width = 24
-	for i := 0; i < len(samples); i += stride {
-		s := samples[i]
+	last := -1
+	row := func(s Sample) {
 		fmt.Fprintf(&b, "%9s  free %s %4d", s.At, gauge(s.FreePages, total, width), s.FreePages)
-		for j := range s.Resident {
-			name := "?"
-			if j < len(r.Names) {
-				name = r.Names[j]
+		for j, name := range r.Names {
+			if j < len(s.Resident) {
+				fmt.Fprintf(&b, "  %s %s %4d", name, gauge(s.Resident[j], total, width), s.Resident[j])
+			} else {
+				// Process did not exist yet at this sample.
+				fmt.Fprintf(&b, "  %s %s %4s", name, strings.Repeat(".", width), "-")
 			}
-			fmt.Fprintf(&b, "  %s %s %4d", name, gauge(s.Resident[j], total, width), s.Resident[j])
 		}
 		fmt.Fprintf(&b, "  stolen %6d  released %6d\n", s.Stolen, s.Released)
+	}
+	for i := 0; i < len(samples); i += stride {
+		row(samples[i])
+		last = i
+	}
+	// The stride can skip the final sample; always emit it so the last
+	// row agrees with Summary()'s end state.
+	if n := len(samples); n > 0 && last != n-1 {
+		row(samples[n-1])
 	}
 	return b.String()
 }

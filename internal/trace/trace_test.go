@@ -1,12 +1,17 @@
 package trace
 
 import (
+	"flag"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 
 	"memhogs/internal/kernel"
 	"memhogs/internal/sim"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRecorderSamples(t *testing.T) {
 	sys := kernel.NewSystem(kernel.TestConfig())
@@ -65,6 +70,146 @@ func TestStopEndsSampling(t *testing.T) {
 	sys.Run(20 * sim.Millisecond)
 	if len(rec.Samples) > n+1 {
 		t.Fatalf("samples kept accumulating after Stop: %d -> %d", n, len(rec.Samples))
+	}
+}
+
+// A run shorter than the sampling interval must still record the
+// initial state (the first sample is taken at attach time).
+func TestAttachSamplesImmediately(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	sys.NewProcess("app", 16)
+	rec := Attach(sys, 100*sim.Millisecond)
+	sys.Run(10 * sim.Millisecond) // shorter than the interval
+	if len(rec.Samples) == 0 {
+		t.Fatal("no samples from a run shorter than the interval")
+	}
+	if rec.Samples[0].At != 0 {
+		t.Fatalf("first sample at %s, want attach time 0", rec.Samples[0].At)
+	}
+	if rec.Summary() == "no samples" {
+		t.Fatal("Summary reports no samples")
+	}
+}
+
+// The downsampling stride must never skip the final sample: the
+// rendered timeline's last row has to agree with Summary()'s end
+// state.
+func TestRenderIncludesLastSample(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	p := sys.NewProcess("app", 64)
+	rec := Attach(sys, sim.Millisecond)
+	p.Start(false, func(th *kernel.Thread) {
+		for vpn := 0; vpn < 48; vpn++ {
+			th.Touch(vpn, false)
+			th.User(sim.Millisecond)
+		}
+	})
+	sys.Run(200 * sim.Millisecond)
+	// Pick a row budget that makes ceil(len/maxRows) stride past the
+	// final sample.
+	for maxRows := 3; maxRows <= 13; maxRows++ {
+		out := rec.Render(maxRows)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		lastRow := lines[len(lines)-1]
+		last := rec.Samples[len(rec.Samples)-1]
+		want := fmt.Sprintf("stolen %6d  released %6d", last.Stolen, last.Released)
+		if !strings.Contains(lastRow, want) || !strings.Contains(lastRow, last.At.String()) {
+			t.Fatalf("maxRows=%d: last rendered row disagrees with the final sample %s:\n%s",
+				maxRows, last.At, out)
+		}
+	}
+}
+
+// Processes created mid-run must not shift the Resident columns of
+// earlier samples: Names is keyed by creation order and samples taken
+// before a process existed are padded in the rendering.
+func TestMidRunProcessCreationKeepsColumnsStable(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	a := sys.NewProcess("alpha", 32)
+	rec := Attach(sys, 5*sim.Millisecond)
+	a.Start(false, func(th *kernel.Thread) {
+		for vpn := 0; vpn < 32; vpn++ {
+			th.Touch(vpn, false)
+			th.User(2 * sim.Millisecond)
+		}
+	})
+	sys.Sim.After(20*sim.Millisecond, func() {
+		b := sys.NewProcess("beta", 16)
+		b.Start(false, func(th *kernel.Thread) {
+			for vpn := 0; vpn < 16; vpn++ {
+				th.Touch(vpn, false)
+				th.User(2 * sim.Millisecond)
+			}
+		})
+	})
+	sys.Run(200 * sim.Millisecond)
+
+	if len(rec.Names) != 2 || rec.Names[0] != "alpha" || rec.Names[1] != "beta" {
+		t.Fatalf("Names = %v, want [alpha beta]", rec.Names)
+	}
+	sawShort := false
+	for _, s := range rec.Samples {
+		switch len(s.Resident) {
+		case 1:
+			sawShort = true
+		case 2:
+			// After beta existed; fine.
+		default:
+			t.Fatalf("sample at %s has %d resident columns", s.At, len(s.Resident))
+		}
+	}
+	if !sawShort {
+		t.Fatal("no sample taken before the second process was created")
+	}
+	// Early samples keep their alpha column; rendering pads beta's.
+	out := rec.Render(0)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "alpha") || !strings.Contains(lines[1], "beta") {
+		t.Fatalf("first row missing stable columns:\n%s", out)
+	}
+	if !strings.Contains(lines[1], " -") {
+		t.Fatalf("first row should pad the not-yet-created process:\n%s", out)
+	}
+}
+
+// TestGoldenTimeline locks the rendered timeline's exact bytes for a
+// deterministic scenario covering all three fixes (immediate first
+// sample, mid-run process creation, last row emitted). Regenerate with
+// `go test ./internal/trace -run Golden -update`.
+func TestGoldenTimeline(t *testing.T) {
+	sys := kernel.NewSystem(kernel.TestConfig())
+	rec := Attach(sys, 10*sim.Millisecond) // before any process exists
+	a := sys.NewProcess("alpha", 48)
+	a.Start(false, func(th *kernel.Thread) {
+		for vpn := 0; vpn < 48; vpn++ {
+			th.Touch(vpn, false)
+			th.User(2 * sim.Millisecond)
+		}
+	})
+	sys.Sim.After(40*sim.Millisecond, func() {
+		b := sys.NewProcess("beta", 24)
+		b.Start(false, func(th *kernel.Thread) {
+			for vpn := 0; vpn < 24; vpn++ {
+				th.Touch(vpn, false)
+				th.User(3 * sim.Millisecond)
+			}
+		})
+	})
+	sys.Run(300 * sim.Millisecond)
+
+	got := rec.Render(7) + rec.Summary() + "\n"
+	const path = "testdata/timeline.golden"
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("timeline drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"memhogs/internal/disk"
+	"memhogs/internal/events"
 	"memhogs/internal/mem"
 	"memhogs/internal/sim"
 )
@@ -201,6 +202,10 @@ type AS struct {
 	// kick so maxrss trimming happens promptly.
 	OverLimit func()
 
+	// Events is the flight recorder; nil (the default) disables
+	// recording at near-zero cost.
+	Events *events.Recorder
+
 	Stats Stats
 }
 
@@ -347,9 +352,12 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		// Soft fault: revalidate the mapping.
 		outcome = SoftFault
 		as.Stats.SoftFaults++
+		var daemonCaused int64
 		if pte.Why == InvalidDaemon {
 			as.Stats.SoftFaultsDaemon++
+			daemonCaused = 1
 		}
+		as.Events.Emit(events.FaultSoft, as.name, "", vpn, daemonCaused, 0)
 		x.System(as.params.SoftFaultTime)
 		pte.Valid = true
 		pte.Why = InvalidNone
@@ -360,6 +368,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		// The old frame is still on the free list: rescue it.
 		outcome = RescueFault
 		as.Stats.RescueFaults++
+		as.Events.Emit(events.FaultRescue, as.name, "", vpn, 0, 0)
 		x.System(as.params.RescueTime)
 		as.phys.Rescue(as.phys.Frame(pte.Frame))
 		pte.Present = true
@@ -378,6 +387,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		}
 		outcome = HardFault
 		as.Stats.HardFaults++
+		as.Events.Emit(events.FaultHard, as.name, "", vpn, 0, 0)
 		x.System(as.params.HardFaultCPU)
 		pte.Busy = true
 		// Swap-in clustering: start asynchronous reads for the
@@ -404,6 +414,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		}
 		x.Account(BucketStallIO, p.Now()-start)
 		as.Stats.PageIns++
+		as.Events.Emit(events.PageIn, as.name, "", vpn, 0, 0)
 
 		relock := as.Memlock.Acquire(p)
 		x.Account(BucketStallLock, relock)
@@ -453,6 +464,7 @@ func (as *AS) readahead(vpn int) {
 			pte.Busy = false
 			as.grew()
 			as.Stats.PageIns++
+			as.Events.Emit(events.PageIn, as.name, "", vpn, 1, 0)
 			as.notifyIn(vpn)
 			as.ioWait.WakeAll()
 		},
@@ -505,6 +517,7 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 		pte.Why = InvalidPrefetch
 		as.grew()
 		as.Stats.RescueFaults++
+		as.Events.Emit(events.FaultRescue, as.name, "", vpn, 1, 0)
 		as.notifyIn(vpn)
 		as.Memlock.Release(p)
 		return PrefetchRescued
@@ -545,6 +558,7 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 	}
 	x.Account(BucketStallIO, p.Now()-start)
 	as.Stats.PageIns++
+	as.Events.Emit(events.PageIn, as.name, "", vpn, 2, 0)
 
 	wait = as.Memlock.Acquire(p)
 	x.Account(BucketStallLock, wait)

@@ -36,6 +36,7 @@ import (
 
 	"memhogs/internal/compiler"
 	"memhogs/internal/driver"
+	"memhogs/internal/events"
 	"memhogs/internal/experiments"
 	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
@@ -608,6 +609,78 @@ func Timeline(name string, v Version, m Machine, seconds int, sleepMS int) (stri
 		return "", err
 	}
 	return rec.Render(60) + rec.Summary() + "\n", nil
+}
+
+// TraceResult is the flight recorder's output for one run: the run's
+// summary report, the human-readable merged event log, the Chrome
+// trace-event JSON (load chrome://tracing or https://ui.perfetto.dev),
+// and the exact per-kind counter registry (unaffected by ring drops).
+type TraceResult struct {
+	Report     *Report
+	Log        string // merged event log + counter summary
+	Summary    string // just the counter summary
+	ChromeJSON []byte
+	Events     int              // events retained in the bounded ring
+	Dropped    int64            // events the ring discarded (oldest first)
+	Counters   map[string]int64 // exact totals by event-kind name
+}
+
+// traceCapacity bounds the flight recorder's ring for Trace runs
+// (~23 MB of events); older events are dropped and counted, the
+// counter registry stays exact.
+const traceCapacity = 1 << 18
+
+// Trace runs one benchmark version with the event-level flight
+// recorder attached to every layer (vm faults, daemon sweeps and
+// steals, releaser outcomes, run-time hint filtering and buffering,
+// shared-page updates) and returns the recorded stream. seconds <= 0
+// runs the program once to completion; sleepMS >= 0 adds the
+// concurrent interactive task. The output is fully deterministic: the
+// same arguments always produce byte-identical ChromeJSON.
+func Trace(name string, v Version, m Machine, seconds int, sleepMS int) (*TraceResult, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return nil, err
+	}
+	horizon := 30 * 60 * sim.Second
+	if seconds > 0 {
+		horizon = sim.Time(seconds) * sim.Second
+	}
+	var rec *events.Recorder
+	cfg := driver.RunConfig{
+		Kernel:           m.kernelConfig(),
+		Mode:             v.mode(),
+		RT:               rt.DefaultConfig(v.mode()),
+		Horizon:          horizon,
+		InteractiveSleep: -1,
+		OnSystem: func(sys *kernel.System) {
+			rec = events.New(sys.Sim, traceCapacity)
+			sys.SetEvents(rec)
+		},
+	}
+	if sleepMS >= 0 {
+		cfg.InteractiveSleep = sim.Time(sleepMS) * sim.Millisecond
+	}
+	res, err := driver.Run(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	counts := rec.Counts()
+	counters := make(map[string]int64)
+	for k := events.Kind(0); k < events.KindCount; k++ {
+		if counts[k] != 0 {
+			counters[k.String()] = counts[k]
+		}
+	}
+	return &TraceResult{
+		Report:     report(name, v, res),
+		Log:        rec.Log(),
+		Summary:    rec.CounterSummary(),
+		ChromeJSON: rec.Chrome(),
+		Events:     rec.Len(),
+		Dropped:    rec.Dropped(),
+		Counters:   counters,
+	}, nil
 }
 
 // Verify runs the three experiment campaigns and checks the paper's
