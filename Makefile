@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet lint bench examples experiments verify golden trace clean
+.PHONY: all build test vet hogvet lint bench examples experiments verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -60,6 +60,23 @@ trace: build
 	@cmp /tmp/memhog-trace-j1.json /tmp/memhog-trace-j4.json
 	@python3 -m json.tool /tmp/memhog-trace-j1.json > /dev/null
 	@echo "trace: deterministic, valid JSON ($$(wc -c < /tmp/memhog-trace-j1.json) bytes)"
+
+# Fault injection: the chaos property harness and the quick chaos
+# matrix (benchmarks × versions × fault classes, continuously audited)
+# under the race detector, plus a byte-identical replay check.
+chaos: build
+	go test -race -run 'TestChaos|TestMetamorphic' ./internal/chaostest/ ./internal/experiments/
+	@go run ./cmd/memhog -quick -quiet -json chaos matvec B -seed 7 > /tmp/memhog-chaos-a.json
+	@go run ./cmd/memhog -quick -quiet -json chaos matvec B -seed 7 > /tmp/memhog-chaos-b.json
+	@cmp /tmp/memhog-chaos-a.json /tmp/memhog-chaos-b.json
+	@echo "chaos: replay deterministic"
+
+# Short fuzz sessions over the language front end and the chaos plan
+# codec; `go test -fuzz=<name> -fuzztime=0` explores indefinitely.
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=10s ./internal/lang/
+	go test -fuzz=FuzzVet -fuzztime=10s ./internal/lang/
+	go test -fuzz=FuzzChaosPlan -fuzztime=10s ./internal/chaos/
 
 clean:
 	go clean ./...

@@ -11,6 +11,9 @@
 //	memhog vet [benchmark...]   # static hint-safety diagnostics (default: all)
 //	memhog timeline <benchmark> [O|P|R|B]  # memory dynamics over time
 //	memhog trace <benchmark> [O|P|R|B]     # event-level flight recorder
+//	memhog chaos <benchmark> [O|P|R|B] [-seed N] [-faults ...]
+//	                            # deterministic fault injection + auditing
+//	memhog chaosmatrix [-seed N] # benchmarks × versions × fault classes
 //	memhog sensitivity <benchmark>         # memory-size sweep
 //	memhog duel <a> <b>         # two memory hogs sharing the machine
 //	memhog list                 # benchmark names
@@ -31,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"memhogs"
 )
@@ -167,6 +171,51 @@ func main() {
 				fmt.Fprint(os.Stderr, tr.Summary)
 			}
 		}
+	case "chaos":
+		if flag.NArg() < 2 {
+			fatal("chaos: need a benchmark name (see 'memhog list')")
+		}
+		rest := flag.Args()[2:]
+		version := memhogs.Buffered
+		if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			version = versionArg(2)
+			rest = rest[1:]
+		}
+		fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+		seed := fs.Uint64("seed", 1, "fault plan seed; equal seeds replay byte-identical runs")
+		faults := fs.String("faults", "all",
+			"fault class ("+strings.Join(memhogs.ChaosClasses(), "|")+") or a plan string")
+		audit := fs.Int("audit", 0, "audit cadence in virtual milliseconds (0 = default)")
+		seconds := fs.Int("seconds", 0, "loop the program until the given virtual time")
+		fs.Parse(rest)
+		rep, err := memhogs.Chaos(flag.Arg(1), version, machine, memhogs.ChaosOptions{
+			Seed:               *seed,
+			Faults:             *faults,
+			AuditEveryMS:       *audit,
+			InteractiveSleepMS: -1,
+			Seconds:            *seconds,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatal("%v", err)
+			}
+		} else {
+			fmt.Print(rep)
+		}
+	case "chaosmatrix":
+		fs := flag.NewFlagSet("chaosmatrix", flag.ExitOnError)
+		seed := fs.Uint64("seed", 7, "campaign seed")
+		fs.Parse(flag.Args()[1:])
+		out, err := campaign.ChaosMatrix(*seed)
+		fmt.Print(out)
+		if err != nil {
+			fatal("%v", err)
+		}
 	case "verify":
 		out, ok, err := campaign.Verify()
 		if err != nil {
@@ -225,6 +274,12 @@ usage:
   memhog [-quick] timeline <bench> [O|P|R|B]  memory dynamics over time
   memhog [-quick] trace <bench> [O|P|R|B]  flight recorder: Chrome trace JSON
                                  on stdout (-log for the merged event log)
+  memhog [-quick] chaos <bench> [O|P|R|B] [-seed N] [-faults class|plan]
+                                 deterministic fault injection with
+                                 continuous invariant auditing
+  memhog [-quick] chaosmatrix [-seed N]  benchmarks × versions × fault
+                                 classes campaign; exit 1 if any cell
+                                 wedges or fails its audits
   memhog [-quick] sensitivity <bench>  memory-size sweep (P vs B crossover)
   memhog [-quick] duel <a> <b>   two memory hogs sharing the machine
   memhog [-quick] verify         check the paper's claims, exit 1 on failure

@@ -1,0 +1,269 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"memhogs/internal/sim"
+)
+
+// The plan string format is the CLI/replay interface:
+//
+//	seed=7;releaser-stall:p=0.1,mag=5ms;disk-error:p=0.02;mem-shrink:at=50ms,mag=96
+//
+// Entries are ';'-separated. "seed=N" sets the plan seed; every other
+// entry is a site name optionally followed by ':' and ','-separated
+// k=v options: p (probability), mag (magnitude: bare integer, or a
+// duration like 250us/5ms/1.5s for duration sites), at (timed sites),
+// after/until (probabilistic window). ParsePlan(p.String()) is the
+// identity for any valid plan.
+
+// String encodes the plan in the parseable replay format.
+func (p Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	for _, f := range p.Faults {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// FaultsString encodes just the fault entries, without the seed — the
+// form the memhog chaos -faults flag takes (the seed travels in -seed).
+func (p Plan) FaultsString() string {
+	parts := make([]string, 0, len(p.Faults))
+	for _, f := range p.Faults {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// String encodes one fault as a plan-string entry.
+func (f Fault) String() string {
+	var opts []string
+	if f.Prob != 0 {
+		opts = append(opts, "p="+strconv.FormatFloat(f.Prob, 'g', -1, 64))
+	}
+	if f.Mag != 0 {
+		if durationSite[f.Site] {
+			opts = append(opts, "mag="+formatDur(sim.Time(f.Mag)))
+		} else {
+			opts = append(opts, "mag="+strconv.FormatInt(f.Mag, 10))
+		}
+	}
+	if f.At != 0 {
+		opts = append(opts, "at="+formatDur(f.At))
+	}
+	if f.After != 0 {
+		opts = append(opts, "after="+formatDur(f.After))
+	}
+	if f.Until != 0 {
+		opts = append(opts, "until="+formatDur(f.Until))
+	}
+	if len(opts) == 0 {
+		return f.Site.String()
+	}
+	return f.Site.String() + ":" + strings.Join(opts, ",")
+}
+
+// formatDur renders a duration exactly with the largest unit that
+// divides it, so parsing the result reproduces the same Time.
+func formatDur(t sim.Time) string {
+	switch {
+	case t != 0 && t%sim.Second == 0:
+		return strconv.FormatInt(int64(t/sim.Second), 10) + "s"
+	case t != 0 && t%sim.Millisecond == 0:
+		return strconv.FormatInt(int64(t/sim.Millisecond), 10) + "ms"
+	case t != 0 && t%sim.Microsecond == 0:
+		return strconv.FormatInt(int64(t/sim.Microsecond), 10) + "us"
+	default:
+		return strconv.FormatInt(int64(t), 10) + "ns"
+	}
+}
+
+// parseDur accepts a bare nanosecond count or a float with an
+// ns/us/ms/s suffix.
+func parseDur(s string) (sim.Time, error) {
+	unit := sim.Nanosecond
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		num, unit = s[:len(s)-2], sim.Microsecond
+	case strings.HasSuffix(s, "ms"):
+		num, unit = s[:len(s)-2], sim.Millisecond
+	case strings.HasSuffix(s, "s"):
+		num, unit = s[:len(s)-1], sim.Second
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	ns := v * float64(unit)
+	// >= because float64(MaxInt64) rounds up to 2^63, which would
+	// overflow the conversion below.
+	if math.IsNaN(ns) || ns < 0 || ns >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("duration %q out of range", s)
+	}
+	return sim.Time(ns), nil
+}
+
+// SiteByName resolves a plan-string site name.
+func SiteByName(name string) (Site, bool) {
+	for s := Site(0); s < NumSites; s++ {
+		if siteNames[s] == name {
+			return s, true
+		}
+	}
+	return NumSites, false
+}
+
+// ParsePlan decodes the plan string format; see Plan.String.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: bad seed %q", v)
+			}
+			p.Seed = seed
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+func parseFault(s string) (Fault, error) {
+	name, opts, _ := strings.Cut(s, ":")
+	site, ok := SiteByName(strings.TrimSpace(name))
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: unknown site %q (known: %s)",
+			name, strings.Join(siteNames[:], " "))
+	}
+	f := Fault{Site: site}
+	if opts == "" {
+		return f, nil
+	}
+	for _, opt := range strings.Split(opts, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(opt), "=")
+		if !found || v == "" {
+			return Fault{}, fmt.Errorf("chaos: %s: option %q is not k=v", name, opt)
+		}
+		switch k {
+		case "p":
+			prob, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(prob) || prob < 0 || prob > 1 {
+				return Fault{}, fmt.Errorf("chaos: %s: probability %q not in [0,1]", name, v)
+			}
+			f.Prob = prob
+		case "mag":
+			if durationSite[site] {
+				d, err := parseDur(v)
+				if err != nil {
+					return Fault{}, fmt.Errorf("chaos: %s: %v", name, err)
+				}
+				f.Mag = int64(d)
+			} else {
+				mag, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || mag < 0 {
+					return Fault{}, fmt.Errorf("chaos: %s: bad magnitude %q", name, v)
+				}
+				f.Mag = mag
+			}
+		case "at", "after", "until":
+			d, err := parseDur(v)
+			if err != nil {
+				return Fault{}, fmt.Errorf("chaos: %s: %v", name, err)
+			}
+			switch k {
+			case "at":
+				f.At = d
+			case "after":
+				f.After = d
+			case "until":
+				f.Until = d
+			}
+		default:
+			return Fault{}, fmt.Errorf("chaos: %s: unknown option %q", name, k)
+		}
+	}
+	if f.Until > 0 && f.Until <= f.After {
+		return Fault{}, fmt.Errorf("chaos: %s: empty window [%s, %s)", name, f.After, f.Until)
+	}
+	return f, nil
+}
+
+// Fault classes: named plans for the chaos matrix, each stressing one
+// failure family at intensities that perturb a run without drowning
+// it.
+var classes = map[string][]Fault{
+	"hints": {
+		{Site: ReleaseDrop, Prob: 0.05},
+		{Site: ReleaseDup, Prob: 0.05},
+		{Site: ReleaseLate, Prob: 0.05},
+		{Site: PrefetchDrop, Prob: 0.05},
+		{Site: PrefetchDup, Prob: 0.05},
+	},
+	"stall": {
+		{Site: ReleaserStall, Prob: 0.1},
+		{Site: DaemonStorm, Prob: 0.5},
+	},
+	"disk": {
+		{Site: DiskSlow, Prob: 0.05},
+		{Site: DiskError, Prob: 0.02},
+	},
+	"stale": {
+		{Site: StaleShared, Prob: 0.1},
+	},
+	"unplug": {
+		{Site: MemShrink, At: 50 * sim.Millisecond},
+		{Site: MemGrow, At: 250 * sim.Millisecond},
+	},
+}
+
+// classOrder fixes the enumeration order for campaigns and help text.
+var classOrder = []string{"hints", "stall", "disk", "stale", "unplug", "all"}
+
+// ClassNames lists the named fault classes in their stable order.
+func ClassNames() []string {
+	out := make([]string, len(classOrder))
+	copy(out, classOrder)
+	return out
+}
+
+// ClassPlan returns the named fault-class plan with the given seed.
+// "all" combines every class.
+func ClassPlan(class string, seed uint64) (Plan, error) {
+	p := Plan{Seed: seed}
+	if class == "all" {
+		for _, name := range classOrder {
+			if name == "all" {
+				continue
+			}
+			p.Faults = append(p.Faults, classes[name]...)
+		}
+		return p, nil
+	}
+	faults, ok := classes[class]
+	if !ok {
+		known := ClassNames()
+		sort.Strings(known)
+		return Plan{}, fmt.Errorf("chaos: unknown fault class %q (known: %s)",
+			class, strings.Join(known, " "))
+	}
+	p.Faults = append(p.Faults, faults...)
+	return p, nil
+}

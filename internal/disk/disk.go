@@ -13,6 +13,7 @@ package disk
 import (
 	"fmt"
 
+	"memhogs/internal/chaos"
 	"memhogs/internal/sim"
 )
 
@@ -20,6 +21,11 @@ import (
 // positioning costs only the short settle time rather than a full
 // seek.
 const nearBlocks = 32
+
+// maxReadRetries bounds transient-read-error recovery: after this
+// many failed attempts the next transfer succeeds unconditionally, so
+// an armed disk-error fault can never stall a request forever.
+const maxReadRetries = 8
 
 // Op distinguishes reads (page-in) from writes (page-out).
 type Op int
@@ -62,11 +68,12 @@ type Config struct {
 
 // Stats aggregates per-array counters across all disks.
 type Stats struct {
-	Reads     int64
-	Writes    int64
-	SeqHits   int64    // requests that got the sequential-position discount
-	BusyTime  sim.Time // total spindle busy time
-	QueueTime sim.Time // total time requests spent queued before service
+	Reads       int64
+	Writes      int64
+	SeqHits     int64    // requests that got the sequential-position discount
+	ReadRetries int64    // transfers re-issued after an injected read error
+	BusyTime    sim.Time // total spindle busy time
+	QueueTime   sim.Time // total time requests spent queued before service
 }
 
 // Array is the collection of disks plus adapters.
@@ -75,11 +82,15 @@ type Array struct {
 	cfg   Config
 	disks []*disk
 	stats Stats
+
+	// Chaos is the fault injector; nil (the default) injects nothing.
+	Chaos *chaos.Injector
 }
 
 type disk struct {
 	arr       *Array
 	id        int
+	name      string
 	adapter   *sim.Sem
 	queue     []*Request
 	busy      bool
@@ -106,13 +117,14 @@ func New(s *sim.Sim, cfg Config) *Array {
 		d := &disk{
 			arr:       a,
 			id:        i,
+			name:      fmt.Sprintf("disk%d", i),
 			adapter:   adapters[i%cfg.NumAdapters],
 			lastBlock: -1 << 40, // far away: first request pays a full seek
 			rng:       sim.NewRand(cfg.Seed + uint64(i)*0x9e37 + 1),
 			work:      sim.NewWaitq(fmt.Sprintf("disk%d.work", i)),
 		}
 		a.disks = append(a.disks, d)
-		d.proc = s.Spawn(fmt.Sprintf("disk%d", i), d.serve)
+		d.proc = s.Spawn(d.name, d.serve)
 	}
 	return a
 }
@@ -189,6 +201,11 @@ func (d *disk) serve(p *sim.Proc) {
 
 		a.stats.QueueTime += p.Now() - req.queuedAt
 
+		// Chaos: a controller hiccup before positioning even starts.
+		if spike := a.Chaos.FireDelay(chaos.DiskSlow, d.name); spike > 0 {
+			p.Sleep(spike)
+		}
+
 		// Positioning: near-sequential requests (within a cylinder or
 		// two of the last block) pay only the short settle time;
 		// distant ones pay a full seek + rotation.
@@ -207,9 +224,24 @@ func (d *disk) serve(p *sim.Proc) {
 		p.Sleep(pos)
 
 		// Transfer holds the adapter: two disks share one channel.
-		d.adapter.Acquire(p)
-		p.Sleep(a.cfg.TransferTime)
-		d.adapter.Release()
+		// Chaos can fail a read transfer; the disk backs off
+		// (exponentially, from the fault's magnitude) and retries from
+		// the already-positioned head, with a retry cap guaranteeing
+		// forward progress.
+		for attempt := 0; ; attempt++ {
+			d.adapter.Acquire(p)
+			p.Sleep(a.cfg.TransferTime)
+			d.adapter.Release()
+			if req.Op != Read || attempt >= maxReadRetries {
+				break
+			}
+			backoff := a.Chaos.FireDelay(chaos.DiskError, d.name)
+			if backoff == 0 {
+				break
+			}
+			a.stats.ReadRetries++
+			p.Sleep(backoff << uint(attempt))
+		}
 
 		d.lastBlock = req.Block
 		a.stats.BusyTime += p.Now() - start

@@ -9,6 +9,7 @@ package driver
 import (
 	"fmt"
 
+	"memhogs/internal/chaos"
 	"memhogs/internal/compiler"
 	"memhogs/internal/disk"
 	"memhogs/internal/kernel"
@@ -53,6 +54,21 @@ type RunConfig struct {
 	// OnSystem, if non-nil, is invoked with the booted system before
 	// any process starts (trace recorders, extra instrumentation).
 	OnSystem func(*kernel.System)
+
+	// Chaos, if non-nil, runs the experiment under the given fault
+	// plan: an injector seeded from the plan is installed on every
+	// layer before any process starts, and timed faults (memory
+	// hot-unplug) are scheduled on the sim clock.
+	Chaos *chaos.Plan
+
+	// AuditEvery, if positive, runs kernel.Audit on that virtual-time
+	// cadence; the run fails with the audit error if any tick finds an
+	// inconsistency.
+	AuditEvery sim.Time
+
+	// AuditOnFault additionally audits immediately after every
+	// injected fault (requires Chaos).
+	AuditOnFault bool
 }
 
 // DefaultRunConfig returns a full-platform configuration for one
@@ -117,6 +133,11 @@ type Result struct {
 	MemlockHold         sim.Time
 
 	Interactive InteractiveStats
+
+	// Chaos counts injected faults per site (all zero without a plan);
+	// AuditTicks counts completed cadence audits.
+	Chaos      chaos.Counts
+	AuditTicks int
 }
 
 // StallResources returns the paper's "stall for unavailable resources"
@@ -180,6 +201,51 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 	if cfg.OnSystem != nil {
 		cfg.OnSystem(sys)
 	}
+
+	// Continuous auditing: the first inconsistency stops the run and is
+	// reported as the run's error, stamped with when it was found.
+	var auditErr error
+	audit := func() {
+		if auditErr != nil {
+			return
+		}
+		if err := sys.Audit(); err != nil {
+			auditErr = fmt.Errorf("at t=%v: %w", sys.Now(), err)
+			sys.Sim.Stop()
+		}
+	}
+
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		// The injector must exist before the run-time layer is built:
+		// rt.New copies System.Chaos.
+		inj = chaos.NewInjector(sys.Sim, sys.Events, *cfg.Chaos)
+		sys.SetChaos(inj)
+		// Hot-unplug may not take so much memory that the daemon's
+		// steal target becomes unreachable.
+		maxOff := cfg.Kernel.UserMemPages - 2*cfg.Kernel.TargetFreePages
+		if maxOff < 0 {
+			maxOff = 0
+		}
+		inj.ScheduleMem(sys.Phys, maxOff, sys.Daemon.Kick)
+		if cfg.AuditOnFault {
+			inj.OnFault = func(chaos.Site) { audit() }
+		}
+	}
+
+	auditTicks := 0
+	if cfg.AuditEvery > 0 {
+		var tick func()
+		tick = func() {
+			audit()
+			auditTicks++
+			if auditErr == nil {
+				sys.Sim.At(sys.Now()+cfg.AuditEvery, tick)
+			}
+		}
+		sys.Sim.At(cfg.AuditEvery, tick)
+	}
+
 	proc := sys.NewProcess(name, img.TotalPages)
 	var pm *pdpm.PM
 	if cfg.Mode.UsesPrefetch() {
@@ -214,6 +280,9 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 		return nil, fmt.Errorf("run %s: %w", name, err)
 	default:
 	}
+	if auditErr != nil {
+		return nil, fmt.Errorf("audit %s: %w", name, auditErr)
+	}
 
 	res.Elapsed = proc.Elapsed()
 	res.Done = proc.Done
@@ -238,6 +307,8 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 	if inter != nil {
 		res.Interactive = inter.Stats()
 	}
+	res.Chaos = inj.Counts()
+	res.AuditTicks = auditTicks
 	// Every run doubles as a whole-system consistency check.
 	if err := sys.Audit(); err != nil {
 		return nil, err

@@ -47,6 +47,7 @@ const (
 	PMRefresh                     // pdpm: shared-page update (A=current, B=limit)
 	PMPrefetchCall                // pdpm: prefetch system call (A=vm.PrefetchResult)
 	PMReleaseCall                 // pdpm: release system call (A=#pages)
+	ChaosInject                   // chaos: injected fault (Target=site, A=magnitude)
 	KindCount
 )
 
@@ -74,6 +75,7 @@ var kindNames = [KindCount]string{
 	PMRefresh:         "pm-refresh",
 	PMPrefetchCall:    "pm-prefetch-call",
 	PMReleaseCall:     "pm-release-call",
+	ChaosInject:       "chaos-inject",
 }
 
 // argLabels gives the A/B values a name in exported output; "" means
@@ -91,6 +93,7 @@ var argLabels = [KindCount][2]string{
 	PMRefresh:       {"current", "limit"},
 	PMPrefetchCall:  {"result", ""},
 	PMReleaseCall:   {"pages", ""},
+	ChaosInject:     {"mag", ""},
 }
 
 // String returns the kind's stable exported name.

@@ -7,33 +7,52 @@ import (
 )
 
 // Audit cross-checks the VM invariants between the physical frame
-// pool and every address space's page table. It is cheap enough to run
-// after every test scenario and catches double frees, leaked frames,
-// stale identities, and resident-count drift.
+// pool and every address space's page table. It is cheap enough to
+// run continuously (driver.RunConfig.AuditEvery) and is valid at any
+// event-loop boundary, not just end-of-run: pages with a page-in in
+// flight and hot-unplugged frames are accounted explicitly instead of
+// assumed away. It catches double frees, leaked frames, stale
+// identities, resident-count drift, and Busy bits without a backing
+// page-in.
 //
 // Invariants:
 //
-//  1. Every frame is either on the free list or owned by exactly one
-//     resident virtual page.
+//  1. Every frame is free, offline, or owned by exactly one virtual
+//     page (resident, rescuable, or with a page-in in transit).
 //  2. An address space's Resident count equals its number of Present
 //     PTEs.
-//  3. A Present PTE's frame points back at (AS, vpn) and is not on the
-//     free list.
-//  4. A non-present PTE that still names a frame (rescuable) points at
-//     a free-listed frame with the matching identity.
-//  5. Free count + resident pages across all processes = total frames.
+//  3. A Present PTE's frame points back at (AS, vpn) and is not on
+//     the free list.
+//  4. A non-present PTE that still names a frame (rescuable) points
+//     at a free-listed frame with the matching identity.
+//  5. A Busy PTE is not Present, names no frame yet, and has a
+//     page-in registered in flight; the in-flight registry has no
+//     entries beyond the Busy PTEs.
+//  6. Free + offline + resident + in-transit frames = total frames.
 func (sys *System) Audit() error {
 	phys := sys.Phys
 
-	// Pass 1: per-frame checks, collecting ownership.
+	// Pass 1: per-frame checks, collecting the identity of every
+	// allocated (non-free, non-offline) frame.
 	type key struct {
 		owner string
 		vpn   int
 	}
 	owners := map[key]mem.FrameID{}
-	free := 0
+	free, offline := 0, 0
 	for i := 0; i < phys.NumFrames(); i++ {
 		f := phys.Frame(mem.FrameID(i))
+		if f.IsOffline() {
+			if f.OnFreeList() {
+				return fmt.Errorf("audit: offline frame %d still on the free list", f.ID)
+			}
+			if f.Owner != nil {
+				return fmt.Errorf("audit: offline frame %d retains owner %s:%d",
+					f.ID, f.Owner.OwnerName(), f.VPN)
+			}
+			offline++
+			continue
+		}
 		if f.OnFreeList() {
 			free++
 			continue
@@ -52,15 +71,44 @@ func (sys *System) Audit() error {
 		return fmt.Errorf("audit: free-list count %d != %d frames marked free",
 			phys.FreeCount(), free)
 	}
+	if offline != phys.OfflineCount() {
+		return fmt.Errorf("audit: offline count %d != %d frames marked offline",
+			phys.OfflineCount(), offline)
+	}
 
-	// Pass 2: per-address-space checks.
-	residentTotal := 0
+	// Pass 2: per-address-space checks. matched marks every allocated
+	// frame claimed by a PTE — present pages claim their mapped
+	// frame, Busy pages claim the frame allocated for their page-in
+	// (which carries their identity but is not yet wired into the
+	// PTE).
+	matched := map[mem.FrameID]bool{}
+	residentTotal, inTransit := 0, 0
 	for _, p := range sys.procs {
 		as := p.AS
-		resident := 0
+		resident, busy := 0, 0
 		for vpn := 0; vpn < as.NumPages(); vpn++ {
 			pte := as.PTE(vpn)
 			switch {
+			case pte.Busy:
+				busy++
+				if pte.Present {
+					return fmt.Errorf("audit: %s:%d busy and present", p.Name, vpn)
+				}
+				if pte.Frame != mem.NoFrame {
+					return fmt.Errorf("audit: %s:%d busy but already names frame %d",
+						p.Name, vpn, pte.Frame)
+				}
+				if !as.PageInInFlight(vpn) {
+					return fmt.Errorf("audit: %s:%d busy without an in-flight page-in",
+						p.Name, vpn)
+				}
+				// The page-in's frame may not exist yet (the fault may
+				// still be waiting for free memory); once allocated it
+				// carries our identity.
+				if id, ok := owners[key{p.Name, vpn}]; ok {
+					matched[id] = true
+					inTransit++
+				}
 			case pte.Present:
 				resident++
 				if pte.Frame == mem.NoFrame {
@@ -71,18 +119,20 @@ func (sys *System) Audit() error {
 					return fmt.Errorf("audit: %s:%d present but frame %d is free",
 						p.Name, vpn, f.ID)
 				}
+				if f.IsOffline() {
+					return fmt.Errorf("audit: %s:%d present but frame %d is offline",
+						p.Name, vpn, f.ID)
+				}
 				if f.Owner == nil || f.Owner.OwnerName() != p.Name || f.VPN != vpn {
 					return fmt.Errorf("audit: %s:%d frame %d identity mismatch (%v:%d)",
 						p.Name, vpn, f.ID, f.Owner, f.VPN)
 				}
+				matched[f.ID] = true
 			case pte.Frame != mem.NoFrame:
 				// Rescuable: the frame must be free-listed with our
 				// identity (otherwise FrameInvalidated should have
 				// cleared the PTE).
 				f := phys.Frame(pte.Frame)
-				if pte.Busy {
-					continue // page-in in flight
-				}
 				if !f.OnFreeList() {
 					return fmt.Errorf("audit: %s:%d rescuable frame %d not on free list",
 						p.Name, vpn, f.ID)
@@ -100,22 +150,28 @@ func (sys *System) Audit() error {
 			return fmt.Errorf("audit: %s resident count %d != %d present PTEs",
 				p.Name, as.Resident, resident)
 		}
+		if busy != as.InFlightPageIns() {
+			return fmt.Errorf("audit: %s has %d busy PTEs but %d in-flight page-ins",
+				p.Name, busy, as.InFlightPageIns())
+		}
 		residentTotal += resident
 	}
 
-	// Busy pages own frames that are neither free nor yet present;
-	// account for them before the conservation check.
-	busy := 0
-	for _, p := range sys.procs {
-		for vpn := 0; vpn < p.AS.NumPages(); vpn++ {
-			if p.AS.PTE(vpn).Busy {
-				busy++
-			}
+	// Pass 3: no allocated frame may be unclaimed (a leak), and the
+	// frame population must conserve.
+	for i := 0; i < phys.NumFrames(); i++ {
+		f := phys.Frame(mem.FrameID(i))
+		if f.IsOffline() || f.OnFreeList() {
+			continue
+		}
+		if !matched[f.ID] {
+			return fmt.Errorf("audit: frame %d (%s:%d) allocated but referenced by no PTE",
+				f.ID, f.Owner.OwnerName(), f.VPN)
 		}
 	}
-	if free+residentTotal+busy != phys.NumFrames() {
-		return fmt.Errorf("audit: conservation failed: free %d + resident %d + busy %d != %d frames",
-			free, residentTotal, busy, phys.NumFrames())
+	if free+offline+residentTotal+inTransit != phys.NumFrames() {
+		return fmt.Errorf("audit: conservation failed: free %d + offline %d + resident %d + in-transit %d != %d frames",
+			free, offline, residentTotal, inTransit, phys.NumFrames())
 	}
 	return nil
 }

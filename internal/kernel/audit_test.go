@@ -106,6 +106,112 @@ func TestAuditCatchesFreeListMismatch(t *testing.T) {
 	}
 }
 
+// TestAuditCatchesBusyWithoutPageIn is the regression test for the
+// audit gap this invariant closed: a Busy PTE used to be skipped in
+// pass 2, so a stuck Busy bit (with no page-in behind it) was
+// invisible until the conservation total happened to drift.
+func TestAuditCatchesBusyWithoutPageIn(t *testing.T) {
+	sys := NewSystem(TestConfig())
+	p := sys.NewProcess("app", 64)
+	p.Start(true, func(th *Thread) {
+		th.Touch(0, false)
+	})
+	sys.Run(0)
+	// Page 60 is far beyond the readahead window: untouched, no
+	// page-in. A stuck Busy bit there must be flagged.
+	p.AS.PTE(60).Busy = true
+	err := sys.Audit()
+	if err == nil || !strings.Contains(err.Error(), "busy without an in-flight page-in") {
+		t.Fatalf("audit missed orphaned Busy bit: %v", err)
+	}
+}
+
+func TestAuditCatchesBusyAndPresent(t *testing.T) {
+	sys := NewSystem(TestConfig())
+	p := sys.NewProcess("app", 8)
+	p.Start(true, func(th *Thread) {
+		th.Touch(0, false)
+	})
+	sys.Run(0)
+	p.AS.PTE(0).Busy = true // page 0 is resident: busy+present is illegal
+	err := sys.Audit()
+	if err == nil || !strings.Contains(err.Error(), "busy and present") {
+		t.Fatalf("audit missed busy+present: %v", err)
+	}
+}
+
+func TestAuditCatchesLeakedFrame(t *testing.T) {
+	sys := NewSystem(TestConfig())
+	p := sys.NewProcess("app", 64)
+	p.Start(true, func(th *Thread) {
+		th.Touch(0, false)
+	})
+	sys.Run(0)
+	// Allocate a frame for a page that is neither present nor busy:
+	// nothing references it, so it is leaked.
+	sys.Phys.TryAlloc(p.AS, 60)
+	err := sys.Audit()
+	if err == nil || !strings.Contains(err.Error(), "referenced by no PTE") {
+		t.Fatalf("audit missed leaked frame: %v", err)
+	}
+}
+
+func TestAuditAccountsOfflineFrames(t *testing.T) {
+	sys := NewSystem(TestConfig())
+	p := sys.NewProcess("app", 8)
+	p.Start(true, func(th *Thread) {
+		th.Touch(0, false)
+	})
+	sys.Run(0)
+	if got := sys.Phys.Offline(32); got != 32 {
+		t.Fatalf("Offline(32) = %d", got)
+	}
+	if err := sys.Audit(); err != nil {
+		t.Fatalf("clean hot-unplugged system flagged: %v", err)
+	}
+	sys.Phys.Online(32)
+	if err := sys.Audit(); err != nil {
+		t.Fatalf("clean re-plugged system flagged: %v", err)
+	}
+}
+
+// TestAuditCleanMidRun drives the audit on a cadence while a heavily
+// oversubscribed sweep runs, so it sees Busy PTEs, in-flight page-ins,
+// and daemon activity at arbitrary event boundaries — the continuous
+// mode the chaos driver uses.
+func TestAuditCleanMidRun(t *testing.T) {
+	sys := NewSystem(TestConfig())
+	p := sys.NewProcess("hog", 1024)
+	p.Start(true, func(th *Thread) {
+		for vpn := 0; vpn < 1024; vpn++ {
+			th.Touch(vpn, true)
+		}
+	})
+	ticks := 0
+	var auditErr error
+	var tick func()
+	tick = func() {
+		if auditErr != nil {
+			return
+		}
+		if err := sys.Audit(); err != nil {
+			auditErr = err
+			sys.Sim.Stop()
+			return
+		}
+		ticks++
+		sys.Sim.At(sys.Now()+sim.Millisecond, tick)
+	}
+	sys.Sim.At(sim.Millisecond, tick)
+	sys.Run(0)
+	if auditErr != nil {
+		t.Fatalf("mid-run audit failed after %d clean ticks: %v", ticks, auditErr)
+	}
+	if ticks < 10 {
+		t.Fatalf("only %d audit ticks ran; the run should span many", ticks)
+	}
+}
+
 func TestMemlockStatsSurface(t *testing.T) {
 	// The paper's contention story: daemon batches hold the lock while
 	// faults wait. Force contention and check the counters move.

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"memhogs/internal/chaos"
 	"memhogs/internal/disk"
 	"memhogs/internal/events"
 	"memhogs/internal/mem"
@@ -25,6 +26,10 @@ type System struct {
 	// Events is the flight recorder, nil (recording off) unless
 	// SetEvents installed one.
 	Events *events.Recorder
+
+	// Chaos is the fault injector, nil (no faults) unless SetChaos
+	// installed one.
+	Chaos *chaos.Injector
 
 	cpus       *sim.Sem
 	DaemonTime [vm.NumBuckets]sim.Time // CPU consumed by the two daemons
@@ -84,6 +89,21 @@ func (sys *System) SetEvents(r *events.Recorder) {
 	sys.Releaser.Events = r
 	for _, p := range sys.procs {
 		p.AS.Events = r
+	}
+}
+
+// SetChaos installs the fault injector on every layer with injection
+// points: the daemons, the disk array, all existing policy modules,
+// and (through System.Chaos) every policy module and run-time layer
+// created afterwards. Like SetEvents, call it before processes start
+// so the whole run sees the same fault plan.
+func (sys *System) SetChaos(in *chaos.Injector) {
+	sys.Chaos = in
+	sys.Daemon.Chaos = in
+	sys.Releaser.Chaos = in
+	sys.Disks.Chaos = in
+	for _, pm := range sys.pms {
+		pm.Chaos = in
 	}
 }
 
@@ -187,6 +207,7 @@ func (p *Process) AttachPM(maxRSS int) *pdpm.PM {
 	cfg := p.Sys.Cfg.PM
 	cfg.MaxRSS = maxRSS
 	p.PM = pdpm.Attach(p.AS, p.Sys.Phys, p.Sys.Releaser, cfg)
+	p.PM.Chaos = p.Sys.Chaos
 	p.Sys.pms = append(p.Sys.pms, p.PM)
 	if maxRSS > 0 {
 		p.AS.MaxRSS = maxRSS

@@ -1,9 +1,33 @@
 package lang
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// exampleSeeds returns the checked-in example programs (examples/*.hog)
+// so the fuzz corpus starts from complete real sources, not just
+// single-feature snippets.
+func exampleSeeds(f *testing.F) []string {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.hog"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example .hog sources found under examples/")
+	}
+	var out []string
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, string(src))
+	}
+	return out
+}
 
 // FuzzParse checks that the parser never panics and that everything it
 // accepts round-trips through Format. The seed corpus covers every
@@ -25,6 +49,9 @@ func FuzzParse(f *testing.F) {
 		"program p\narray a[4] of float64\nfor i = 0 to 3 { }",
 	}
 	for _, s := range seeds {
+		f.Add(s)
+	}
+	for _, s := range exampleSeeds(f) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

@@ -4,11 +4,14 @@
 package lang_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"memhogs/internal/compiler"
 	"memhogs/internal/hogvet"
 	"memhogs/internal/lang"
+	"memhogs/internal/workload"
 )
 
 // FuzzVet extends the parser fuzz harness through the compiler and the
@@ -31,6 +34,23 @@ func FuzzVet(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// Real programs: the checked-in examples and every built-in
+	// benchmark source (full-size and scaled), so the corpus exercises
+	// the shapes the compiler actually sees.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.hog"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no example .hog sources: %v", err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, spec := range append(workload.All(), workload.AllScaled()...) {
+		f.Add(spec.Source)
 	}
 	tgt := compiler.DefaultTarget(16<<10, 4800)
 	f.Fuzz(func(t *testing.T, src string) {

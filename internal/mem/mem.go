@@ -72,6 +72,7 @@ type Frame struct {
 
 	freeKind   FreeKind
 	prev, next FrameID // free-list links, valid when freeKind != FreedNone
+	offline    bool    // hot-unplugged: neither free nor allocatable
 }
 
 // OnFreeList reports whether the frame is currently on the free list.
@@ -79,6 +80,9 @@ func (f *Frame) OnFreeList() bool { return f.freeKind != FreedNone }
 
 // Kind reports how the frame was freed (FreedNone if resident).
 func (f *Frame) Kind() FreeKind { return f.freeKind }
+
+// IsOffline reports whether the frame is hot-unplugged.
+func (f *Frame) IsOffline() bool { return f.offline }
 
 // Stats tracks free-list outcomes for the paper's Figure 9 and
 // Table 3.
@@ -100,6 +104,7 @@ type Phys struct {
 	frames     []Frame
 	head, tail FrameID // free list: head = next to allocate
 	nfree      int
+	offlineIDs []FrameID // hot-unplugged frames, LIFO
 	stats      Stats
 
 	waiters *sim.Waitq
@@ -241,6 +246,9 @@ func (p *Phys) Free(f *Frame, kind FreeKind) {
 	if f.OnFreeList() {
 		panic(fmt.Sprintf("mem: double free of frame %d", f.ID))
 	}
+	if f.offline {
+		panic(fmt.Sprintf("mem: free of offline frame %d", f.ID))
+	}
 	p.pushTail(f, kind)
 	switch kind {
 	case FreedDaemon:
@@ -279,4 +287,59 @@ func (p *Phys) DropIdentity(f *Frame) {
 	f.Owner = nil
 	f.VPN = 0
 	f.Dirty = false
+}
+
+// OfflineCount returns the number of hot-unplugged frames.
+func (p *Phys) OfflineCount() int { return len(p.offlineIDs) }
+
+// Offline hot-unplugs up to n frames, taking them from the head of
+// the free list (the oldest identities, which would be reallocated
+// next anyway). Only free frames can go offline; the return value is
+// how many actually did. Identities are destroyed, so pending rescues
+// of those pages become hard faults — exactly the degradation a real
+// memory-removal causes.
+func (p *Phys) Offline(n int) int {
+	taken := 0
+	for taken < n && p.nfree > 0 {
+		f := &p.frames[p.head]
+		p.unlink(f)
+		if f.Owner != nil {
+			f.Owner.FrameInvalidated(f.VPN)
+			f.Owner = nil
+		}
+		f.VPN = 0
+		f.Dirty = false
+		f.offline = true
+		p.offlineIDs = append(p.offlineIDs, f.ID)
+		taken++
+	}
+	if taken > 0 {
+		if p.nfree <= p.LowWater && p.NeedMemory != nil {
+			p.NeedMemory()
+		}
+		if p.FreeChanged != nil {
+			p.FreeChanged(p.nfree)
+		}
+	}
+	return taken
+}
+
+// Online brings up to n hot-unplugged frames back, identity-free, at
+// the tail of the free list, waking allocation waiters. It returns
+// how many came back.
+func (p *Phys) Online(n int) int {
+	taken := 0
+	for taken < n && len(p.offlineIDs) > 0 {
+		id := p.offlineIDs[len(p.offlineIDs)-1]
+		p.offlineIDs = p.offlineIDs[:len(p.offlineIDs)-1]
+		f := &p.frames[id]
+		f.offline = false
+		p.pushTail(f, FreedExit)
+		p.waiters.WakeOne()
+		taken++
+	}
+	if taken > 0 && p.FreeChanged != nil {
+		p.FreeChanged(p.nfree)
+	}
+	return taken
 }

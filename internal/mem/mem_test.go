@@ -208,6 +208,119 @@ func TestFreeListInvariant(t *testing.T) {
 	}
 }
 
+func TestOfflineOnlineRoundTrip(t *testing.T) {
+	s := sim.New()
+	p := New(s, 16)
+	if got := p.Offline(4); got != 4 {
+		t.Fatalf("Offline(4) = %d", got)
+	}
+	if p.FreeCount() != 12 || p.OfflineCount() != 4 {
+		t.Fatalf("free %d offline %d, want 12/4", p.FreeCount(), p.OfflineCount())
+	}
+	offline := 0
+	for i := 0; i < p.NumFrames(); i++ {
+		f := p.Frame(FrameID(i))
+		if f.IsOffline() {
+			offline++
+			if f.OnFreeList() {
+				t.Fatalf("offline frame %d still on free list", f.ID)
+			}
+			if f.Owner != nil {
+				t.Fatalf("offline frame %d retains an owner", f.ID)
+			}
+		}
+	}
+	if offline != 4 {
+		t.Fatalf("%d frames flagged offline, want 4", offline)
+	}
+	if got := p.Online(4); got != 4 {
+		t.Fatalf("Online(4) = %d", got)
+	}
+	if p.FreeCount() != 16 || p.OfflineCount() != 0 {
+		t.Fatalf("after online: free %d offline %d, want 16/0", p.FreeCount(), p.OfflineCount())
+	}
+}
+
+func TestOfflineLimitedByFreeFrames(t *testing.T) {
+	s := sim.New()
+	p := New(s, 4)
+	o := &fakeOwner{name: "o"}
+	p.Alloc(nil, o, 0)
+	p.Alloc(nil, o, 1)
+	p.Alloc(nil, o, 2)
+	if got := p.Offline(10); got != 1 {
+		t.Fatalf("Offline(10) with one free frame = %d, want 1", got)
+	}
+	// Bringing back more than was taken returns only what is offline.
+	if got := p.Online(10); got != 1 {
+		t.Fatalf("Online(10) = %d, want 1", got)
+	}
+}
+
+func TestOfflineDestroysIdentity(t *testing.T) {
+	s := sim.New()
+	p := New(s, 2)
+	o := &fakeOwner{name: "o"}
+	f, _ := p.Alloc(nil, o, 42)
+	p.Free(f, FreedDaemon) // rescuable: identity retained on the free list
+	p.Alloc(nil, o, 1)     // consume the other frame so f is next
+	if got := p.Offline(1); got != 1 {
+		t.Fatalf("Offline(1) = %d", got)
+	}
+	if !f.IsOffline() {
+		t.Fatal("freed frame not taken offline")
+	}
+	if len(o.invalidated) != 1 || o.invalidated[0] != 42 {
+		t.Fatalf("owner not told its rescuable page died: %v", o.invalidated)
+	}
+}
+
+func TestOnlineWakesBlockedAllocator(t *testing.T) {
+	s := sim.New()
+	p := New(s, 2)
+	o := &fakeOwner{name: "o"}
+	p.Offline(2)
+
+	var gotAt sim.Time
+	s.Spawn("waiter", func(proc *sim.Proc) {
+		p.Alloc(proc, o, 0)
+		gotAt = proc.Now()
+	})
+	s.At(5*sim.Millisecond, func() { p.Online(1) })
+	s.Run(0)
+	if gotAt != 5*sim.Millisecond {
+		t.Fatalf("alloc completed at %v, want 5ms (hot-plug wake)", gotAt)
+	}
+}
+
+func TestFreeOfflineFramePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing an offline frame did not panic")
+		}
+	}()
+	s := sim.New()
+	p := New(s, 1)
+	p.Offline(1)
+	p.Free(p.Frame(0), FreedRelease)
+}
+
+func TestOfflineKicksDaemonAtLowWater(t *testing.T) {
+	s := sim.New()
+	p := New(s, 8)
+	p.LowWater = 4
+	kicks := 0
+	p.NeedMemory = func() { kicks++ }
+	p.Offline(3) // free 5 > 4: no kick
+	if kicks != 0 {
+		t.Fatalf("kicked too early: %d", kicks)
+	}
+	p.Offline(1) // free 4 <= 4: kick
+	if kicks != 1 {
+		t.Fatalf("kicks = %d, want 1", kicks)
+	}
+}
+
 func TestFreeKindString(t *testing.T) {
 	for k, want := range map[FreeKind]string{
 		FreedNone: "none", FreedDaemon: "daemon", FreedRelease: "release", FreedExit: "exit",

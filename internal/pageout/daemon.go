@@ -13,6 +13,7 @@
 package pageout
 
 import (
+	"memhogs/internal/chaos"
 	"memhogs/internal/disk"
 	"memhogs/internal/events"
 	"memhogs/internal/mem"
@@ -66,8 +67,15 @@ type Daemon struct {
 	Stats   DaemonStats
 	Enabled bool
 
+	// stormExtra inflates the steal target for the current activation
+	// (chaos steal storms); zero outside injected storms.
+	stormExtra int
+
 	// Events is the flight recorder; nil disables recording.
 	Events *events.Recorder
+
+	// Chaos is the fault injector; nil injects nothing.
+	Chaos *chaos.Injector
 }
 
 // NewDaemon creates the paging daemon; Start must be called with the
@@ -134,9 +142,17 @@ func (d *Daemon) loop(p *sim.Proc) {
 		d.kicked = false
 		d.Stats.Activations++
 		d.Events.Emit(events.DaemonWake, "pageoutd", "", -1, int64(d.phys.FreeCount()), 0)
+		// Chaos: a steal storm inflates this activation's target, so
+		// the clock reclaims far past desfree (over-eager vhand).
+		d.stormExtra = d.Chaos.FireExtra(chaos.DaemonStorm, "pageoutd")
 		d.scan(p)
+		d.stormExtra = 0
 	}
 }
+
+// target is the free-page goal of the current activation: desfree,
+// plus any injected storm surplus.
+func (d *Daemon) target() int { return d.cfg.TargetFree + d.stormExtra }
 
 // scan steals pages until free memory reaches the target or the clock
 // has swept all frames twice (one invalidate pass plus one steal
@@ -146,7 +162,7 @@ func (d *Daemon) scan(p *sim.Proc) {
 	d.askDonors(p)
 	limit := 2 * d.phys.NumFrames()
 	scanned := 0
-	for d.phys.FreeCount() < d.cfg.TargetFree && scanned < limit {
+	for d.phys.FreeCount() < d.target() && scanned < limit {
 		n := d.scanBatch(p)
 		scanned += n
 		if n == 0 {
@@ -160,7 +176,7 @@ func (d *Daemon) scan(p *sim.Proc) {
 // victims from cooperating processes and reclaim exactly those.
 func (d *Daemon) askDonors(p *sim.Proc) {
 	for _, dn := range d.donors {
-		need := d.cfg.TargetFree - d.phys.FreeCount()
+		need := d.target() - d.phys.FreeCount()
 		if need <= 0 {
 			return
 		}
@@ -264,7 +280,7 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 				as.Stats.Writebacks++
 				d.disks.Submit(as.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
 			}
-			if d.phys.FreeCount() >= d.cfg.TargetFree {
+			if d.phys.FreeCount() >= d.target() {
 				break
 			}
 		}

@@ -1,6 +1,7 @@
 package pageout
 
 import (
+	"memhogs/internal/chaos"
 	"memhogs/internal/disk"
 	"memhogs/internal/events"
 	"memhogs/internal/mem"
@@ -47,6 +48,9 @@ type Releaser struct {
 
 	// Events is the flight recorder; nil disables recording.
 	Events *events.Recorder
+
+	// Chaos is the fault injector; nil injects nothing.
+	Chaos *chaos.Injector
 }
 
 // NewReleaser creates the releaser; Start must be called before the
@@ -90,6 +94,12 @@ func (r *Releaser) loop(p *sim.Proc) {
 		r.queue = r.queue[:len(r.queue)-1]
 		r.Stats.Requests++
 		r.Stats.PagesRequested += int64(len(req.vpns))
+		// Chaos: a stalled releaser sits on the request while the
+		// queue grows; the pages stay resident and the paging daemon
+		// has to pick up the slack — degraded, never corrupted.
+		if stall := r.Chaos.FireDelay(chaos.ReleaserStall, "releaserd"); stall > 0 {
+			p.Sleep(stall)
+		}
 		r.handle(p, req)
 	}
 }

@@ -14,6 +14,7 @@
 package pdpm
 
 import (
+	"memhogs/internal/chaos"
 	"memhogs/internal/events"
 	"memhogs/internal/mem"
 	"memhogs/internal/pageout"
@@ -91,6 +92,9 @@ type PM struct {
 	shared         SharedPage
 	lastNotifyFree int
 	Stats          Stats
+
+	// Chaos is the fault injector; nil injects nothing.
+	Chaos *chaos.Injector
 }
 
 // Attach creates a PM connected to as and installs it as the address
@@ -143,6 +147,12 @@ func (pm *PM) FreeMemChanged(free int) {
 
 // refresh recomputes the usage and limit words, equation (1).
 func (pm *PM) refresh() {
+	// Chaos: a stale refresh leaves the previous usage and limit words
+	// in place, so the run-time layer plans against lies until the next
+	// memory activity. Only advice goes stale — never kernel state.
+	if pm.Chaos.Fire(chaos.StaleShared, pm.as.OwnerName(), -1) {
+		return
+	}
 	pm.Stats.SharedRefreshes++
 	pm.lastNotifyFree = pm.phys.FreeCount()
 	pm.shared.Current = pm.as.Resident
@@ -162,6 +172,11 @@ func (pm *PM) refresh() {
 
 // PageIn implements vm.Watcher.
 func (pm *PM) PageIn(vpn int) {
+	// Chaos: a lost bitmap update makes a resident page look absent —
+	// the layer wastes a prefetch that comes back AlreadyIn.
+	if pm.Chaos.Fire(chaos.StaleShared, pm.as.OwnerName(), vpn) {
+		return
+	}
 	pm.shared.set(vpn)
 	if pm.cfg.ImmediateUpdates {
 		pm.refresh()
@@ -170,6 +185,11 @@ func (pm *PM) PageIn(vpn int) {
 
 // PageOut implements vm.Watcher.
 func (pm *PM) PageOut(vpn int) {
+	// Chaos: a lost bitmap update makes an evicted page look resident —
+	// the layer filters its prefetch and pays a hard fault instead.
+	if pm.Chaos.Fire(chaos.StaleShared, pm.as.OwnerName(), vpn) {
+		return
+	}
 	pm.shared.clear(vpn)
 	if pm.cfg.ImmediateUpdates {
 		pm.refresh()

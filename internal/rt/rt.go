@@ -17,6 +17,7 @@ package rt
 import (
 	"sort"
 
+	"memhogs/internal/chaos"
 	"memhogs/internal/compiler"
 	"memhogs/internal/events"
 	"memhogs/internal/kernel"
@@ -129,6 +130,17 @@ type relQueue struct {
 	pages []int
 }
 
+// relHint is a release hint held back by an injected delay.
+type relHint struct {
+	tag  int
+	prio int
+	page int64
+}
+
+// maxLateHints bounds the held-back hint buffer; overflow means the
+// hints are simply lost (a drop, the milder fault).
+const maxLateHints = 4096
+
 // Layer is the run-time layer for one out-of-core process. It
 // implements compiler.Hints.
 type Layer struct {
@@ -143,6 +155,12 @@ type Layer struct {
 	// ev is the system's flight recorder, captured at New; nil when
 	// recording is off.
 	ev *events.Recorder
+
+	// chaos is the system's fault injector, captured at New; nil when
+	// injection is off. lateHints holds hints an injected delay kept
+	// from the layer; they arrive after the next undelayed hint.
+	chaos     *chaos.Injector
+	lateHints []relHint
 
 	work     []workItem
 	workWait *sim.Waitq
@@ -176,6 +194,7 @@ func New(p *kernel.Process, pm *pdpm.PM, cfg Config) *Layer {
 		p:        p,
 		pm:       pm,
 		ev:       p.Sys.Events,
+		chaos:    p.Sys.Chaos,
 		lastRel:  map[int]int64{},
 		queues:   map[int]*relQueue{},
 		workWait: sim.NewWaitq(p.Name + ".rtwork"),
@@ -271,37 +290,77 @@ func (l *Layer) Prefetch(tag int, pages []int64) {
 		return
 	}
 	for _, pg := range pages {
-		l.Stats.PrefetchCalls++
-		l.overhead()
-		p := int(pg)
-		if p < 0 || p >= l.pm.AS().NumPages() {
+		// Chaos: a dropped hint never reaches the layer; a duplicated
+		// one arrives twice (the copy usually dies in the bitmap
+		// filter or comes back PrefetchAlreadyIn).
+		if l.chaos.Fire(chaos.PrefetchDrop, l.p.Name, int(pg)) {
 			continue
 		}
-		// "the bitmap is checked to see if a prefetch is really
-		// needed."
-		if l.pm.Shared().Test(p) {
-			l.Stats.PrefetchFiltered++
-			l.ev.Emit(events.RTPrefetchFilter, l.p.Name, "", p, 0, 0)
-			continue
+		l.prefetch1(pg)
+		if l.chaos.Fire(chaos.PrefetchDup, l.p.Name, int(pg)) {
+			l.prefetch1(pg)
 		}
-		if len(l.work) >= l.cfg.MaxPfQueue {
-			l.Stats.PrefetchDropped++
-			l.ev.Emit(events.RTPrefetchDrop, l.p.Name, "", p, 0, 0)
-			continue
-		}
-		l.Stats.PrefetchIssued++
-		l.ev.Emit(events.RTPrefetchIssue, l.p.Name, "", p, 0, 0)
-		l.work = append(l.work, workItem{kind: workPf, page: p})
-		l.workWait.WakeOne()
 	}
 }
 
-// Release implements compiler.Hints: the one-request-behind tag filter
-// followed by either immediate issue or priority buffering.
+// prefetch1 handles the arrival of one prefetch hint.
+func (l *Layer) prefetch1(pg int64) {
+	l.Stats.PrefetchCalls++
+	l.overhead()
+	p := int(pg)
+	if p < 0 || p >= l.pm.AS().NumPages() {
+		return
+	}
+	// "the bitmap is checked to see if a prefetch is really
+	// needed."
+	if l.pm.Shared().Test(p) {
+		l.Stats.PrefetchFiltered++
+		l.ev.Emit(events.RTPrefetchFilter, l.p.Name, "", p, 0, 0)
+		return
+	}
+	if len(l.work) >= l.cfg.MaxPfQueue {
+		l.Stats.PrefetchDropped++
+		l.ev.Emit(events.RTPrefetchDrop, l.p.Name, "", p, 0, 0)
+		return
+	}
+	l.Stats.PrefetchIssued++
+	l.ev.Emit(events.RTPrefetchIssue, l.p.Name, "", p, 0, 0)
+	l.work = append(l.work, workItem{kind: workPf, page: p})
+	l.workWait.WakeOne()
+}
+
+// Release implements compiler.Hints: chaos hint perturbation, then the
+// one-request-behind tag filter followed by either immediate issue or
+// priority buffering.
 func (l *Layer) Release(tag int, prio int, page int64) {
 	if !l.cfg.Mode.UsesRelease() {
 		return
 	}
+	// Chaos: hints can be lost before the layer sees them, held back
+	// and delivered out of order after a later hint, or delivered
+	// twice (the copy dies in the one-request-behind filter).
+	if l.chaos.Fire(chaos.ReleaseDrop, l.p.Name, int(page)) {
+		return
+	}
+	if l.chaos.Fire(chaos.ReleaseLate, l.p.Name, int(page)) {
+		if len(l.lateHints) < maxLateHints {
+			l.lateHints = append(l.lateHints, relHint{tag: tag, prio: prio, page: page})
+		}
+		return
+	}
+	l.release1(tag, prio, page)
+	if l.chaos.Fire(chaos.ReleaseDup, l.p.Name, int(page)) {
+		l.release1(tag, prio, page)
+	}
+	for len(l.lateHints) > 0 {
+		h := l.lateHints[0]
+		l.lateHints = l.lateHints[1:]
+		l.release1(h.tag, h.prio, h.page)
+	}
+}
+
+// release1 handles the arrival of one release hint.
+func (l *Layer) release1(tag int, prio int, page int64) {
 	l.Stats.ReleaseCalls++
 	l.overhead()
 
@@ -449,6 +508,12 @@ func (l *Layer) BufferedPages() int {
 // at the end of a program run in tests; the paper's layer never needs
 // this because programs exit).
 func (l *Layer) Flush() {
+	// Deliver hints chaos held back so "late" stays late, not lost.
+	for len(l.lateHints) > 0 {
+		h := l.lateHints[0]
+		l.lateHints = l.lateHints[1:]
+		l.release1(h.tag, h.prio, h.page)
+	}
 	var all []int
 	for _, q := range l.queues {
 		all = append(all, q.pages...)

@@ -197,6 +197,13 @@ type AS struct {
 	ioWait  *sim.Waitq // waiters on in-flight page-ins
 	watcher Watcher
 
+	// inflight registers every page-in operation (demand fault,
+	// readahead, prefetch) for the whole time its PTE is Busy —
+	// including the wait for a free frame before the disk read is
+	// even submitted. The audit uses it to prove that a Busy bit
+	// always corresponds to a real outstanding page-in.
+	inflight map[int]bool
+
 	// OverLimit, if non-nil, is invoked whenever the resident set
 	// grows beyond MaxRSS; the kernel wires it to the paging daemon's
 	// kick so maxrss trimming happens promptly.
@@ -223,6 +230,7 @@ func NewAS(name string, id int, npages int, swapBase int64, phys *mem.Phys, disk
 		params:   params,
 		swapBase: swapBase,
 		ioWait:   sim.NewWaitq(name + ".iowait"),
+		inflight: map[int]bool{},
 	}
 	for i := range as.ptes {
 		as.ptes[i].Frame = mem.NoFrame
@@ -252,6 +260,19 @@ func (as *AS) NumPages() int { return len(as.ptes) }
 
 // PTE returns the page-table entry for vpn (for daemons and tests).
 func (as *AS) PTE(vpn int) *PTE { return &as.ptes[vpn] }
+
+// beginPageIn/endPageIn bracket a page-in operation; they are always
+// paired with setting/clearing the PTE's Busy bit.
+func (as *AS) beginPageIn(vpn int) { as.inflight[vpn] = true }
+func (as *AS) endPageIn(vpn int)   { delete(as.inflight, vpn) }
+
+// PageInInFlight reports whether a page-in operation (fault,
+// readahead or prefetch) is outstanding for vpn.
+func (as *AS) PageInInFlight(vpn int) bool { return as.inflight[vpn] }
+
+// InFlightPageIns returns the number of outstanding page-in
+// operations.
+func (as *AS) InFlightPageIns() int { return len(as.inflight) }
 
 // ResidentValid reports whether vpn is resident with a valid mapping —
 // the no-cost fast path.
@@ -390,6 +411,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		as.Events.Emit(events.FaultHard, as.name, "", vpn, 0, 0)
 		x.System(as.params.HardFaultCPU)
 		pte.Busy = true
+		as.beginPageIn(vpn)
 		// Swap-in clustering: start asynchronous reads for the
 		// following pages while we still hold the lock.
 		for k := 1; k < as.params.Readahead; k++ {
@@ -422,6 +444,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		pte.Present = true
 		pte.Valid = true
 		pte.Busy = false
+		as.endPageIn(vpn)
 		pte.Why = InvalidNone
 		as.grew()
 		as.notifyIn(vpn)
@@ -453,6 +476,7 @@ func (as *AS) readahead(vpn int) {
 		return
 	}
 	pte.Busy = true
+	as.beginPageIn(vpn)
 	as.Stats.ReadaheadIns++
 	as.disks.Submit(as.swapPage(vpn), &disk.Request{
 		Op: disk.Read,
@@ -462,6 +486,7 @@ func (as *AS) readahead(vpn int) {
 			pte.Valid = false
 			pte.Why = InvalidPrefetch
 			pte.Busy = false
+			as.endPageIn(vpn)
 			as.grew()
 			as.Stats.PageIns++
 			as.Events.Emit(events.PageIn, as.name, "", vpn, 1, 0)
@@ -536,6 +561,7 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 	// charge yields the CPU): the allocated frame must always be
 	// traceable through the Busy bit.
 	pte.Busy = true
+	as.beginPageIn(vpn)
 	x.System(as.params.HardFaultCPU)
 	// "performs actions similar to those that occur for a page fault":
 	// that includes swap-in clustering.
@@ -567,6 +593,7 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 	pte.Valid = false // not validated; no TLB entry
 	pte.Why = InvalidPrefetch
 	pte.Busy = false
+	as.endPageIn(vpn)
 	as.grew()
 	as.notifyIn(vpn)
 	as.ioWait.WakeAll()

@@ -32,8 +32,10 @@ package memhogs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
+	"memhogs/internal/chaos"
 	"memhogs/internal/compiler"
 	"memhogs/internal/driver"
 	"memhogs/internal/events"
@@ -681,6 +683,153 @@ func Trace(name string, v Version, m Machine, seconds int, sleepMS int) (*TraceR
 		Dropped:    rec.Dropped(),
 		Counters:   counters,
 	}, nil
+}
+
+// ChaosOptions configures a fault-injection run.
+type ChaosOptions struct {
+	// Seed drives every probabilistic fault decision. Equal seeds (with
+	// equal faults, benchmark, version and machine) replay the run
+	// byte-for-byte, which is how a failure found by the property
+	// harness is reproduced.
+	Seed uint64
+	// Faults selects what to inject: a named fault class (see
+	// ChaosClasses) or a plan string such as
+	// "releaser-stall:p=0.1,mag=5ms;disk-error:p=0.02". Empty means
+	// "all" — every class combined.
+	Faults string
+	// AuditEveryMS is the continuous-audit cadence in virtual
+	// milliseconds; 0 picks a default (5 ms on the scaled machine,
+	// 100 ms at full scale). The whole machine is additionally audited
+	// after every injected fault.
+	AuditEveryMS int
+	// InteractiveSleepMS, if >= 0, runs the paper's interactive task
+	// concurrently with the given think time in milliseconds.
+	InteractiveSleepMS int
+	// Seconds, if > 0, loops the program until the given virtual time
+	// instead of running it once.
+	Seconds int
+}
+
+// ChaosReport is a Report plus the injection and auditing record.
+type ChaosReport struct {
+	*Report
+	// Plan is the canonical plan string; feeding it back through
+	// ChaosOptions.Faults replays this exact run.
+	Plan          string
+	Injected      map[string]int64 // injected faults by site name
+	InjectedTotal int64
+	AuditTicks    int // cadence audits performed, all clean
+}
+
+// String renders the run summary followed by the injection record.
+func (r *ChaosReport) String() string {
+	var b strings.Builder
+	b.WriteString(r.Report.String())
+	fmt.Fprintf(&b, "  chaos: %d faults injected, %d clean audits\n",
+		r.InjectedTotal, r.AuditTicks)
+	sites := make([]string, 0, len(r.Injected))
+	for s := range r.Injected {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		fmt.Fprintf(&b, "    %-16s %d\n", s, r.Injected[s])
+	}
+	fmt.Fprintf(&b, "  plan: %s\n", r.Plan)
+	return b.String()
+}
+
+// ChaosClasses lists the named fault classes, in their stable order.
+func ChaosClasses() []string { return chaos.ClassNames() }
+
+// chaosPlan resolves the Faults option: a class name, or a parseable
+// plan string. An explicit Seed option overrides a seed= plan entry.
+func chaosPlan(faults string, seed uint64) (chaos.Plan, error) {
+	if faults == "" {
+		faults = "all"
+	}
+	if p, err := chaos.ClassPlan(faults, seed); err == nil {
+		return p, nil
+	}
+	p, err := chaos.ParsePlan(faults)
+	if err != nil {
+		return chaos.Plan{}, fmt.Errorf("%w (or name a fault class: %s)",
+			err, strings.Join(chaos.ClassNames(), " "))
+	}
+	if seed != 0 || p.Seed == 0 {
+		p.Seed = seed
+	}
+	return p, nil
+}
+
+// Chaos runs one built-in benchmark version under deterministic fault
+// injection with continuous invariant auditing: the whole machine is
+// audited on a virtual-time cadence and after every injected fault,
+// and any corruption fails the run with the audit's diagnosis. A
+// completed run therefore certifies that the injected faults only
+// degraded throughput — they never corrupted memory-system state or
+// wedged the machine.
+func Chaos(name string, v Version, m Machine, opts ChaosOptions) (*ChaosReport, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := chaosPlan(opts.Faults, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	auditEvery := 100 * sim.Millisecond
+	if m.Scaled {
+		auditEvery = 5 * sim.Millisecond
+	}
+	if opts.AuditEveryMS > 0 {
+		auditEvery = sim.Time(opts.AuditEveryMS) * sim.Millisecond
+	}
+	cfg := driver.RunConfig{
+		Kernel:           m.kernelConfig(),
+		Mode:             v.mode(),
+		RT:               rt.DefaultConfig(v.mode()),
+		Horizon:          30 * 60 * sim.Second,
+		InteractiveSleep: -1,
+		Chaos:            &plan,
+		AuditEvery:       auditEvery,
+		AuditOnFault:     true,
+	}
+	if opts.InteractiveSleepMS >= 0 {
+		cfg.InteractiveSleep = sim.Time(opts.InteractiveSleepMS) * sim.Millisecond
+	}
+	if opts.Seconds > 0 {
+		cfg.Repeat = true
+		cfg.Horizon = sim.Time(opts.Seconds) * sim.Second
+	}
+	res, err := driver.Run(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosReport{
+		Report:        report(name, v, res),
+		Plan:          plan.String(),
+		Injected:      res.Chaos.Map(),
+		InjectedTotal: res.Chaos.Total(),
+		AuditTicks:    res.AuditTicks,
+	}, nil
+}
+
+// ChaosMatrix runs the chaos campaign — every benchmark × version ×
+// fault class, each cell fully audited — and returns the rendered
+// matrix. The error reports the first cell that wedged, skipped its
+// audits, or lost the paper's Buffered-beats-Original ordering under
+// faults; the rendered matrix is returned alongside it for diagnosis.
+func (c Campaign) ChaosMatrix(seed uint64) (string, error) {
+	m, err := experiments.RunChaosMatrix(c.opts(), seed)
+	if err != nil {
+		return "", err
+	}
+	out := experiments.FormatChaosMatrix(m).String()
+	if err := m.Check(); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // Verify runs the three experiment campaigns and checks the paper's
