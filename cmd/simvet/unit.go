@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"memhogs/internal/analysis"
+)
+
+// modulePath is the module this tool audits; units outside it (the
+// standard library, when go vet asks for fact-only visits) are passed
+// through without type-checking.
+const modulePath = "memhogs"
+
+// vetConfig is the JSON payload cmd/go writes for each compilation
+// unit when driving a -vettool (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// savedFacts is the gob payload of a .vetx file: every package fact
+// known after analyzing the unit (its own plus everything inherited
+// from its imports), so facts propagate transitively through direct-
+// import vetx handoffs.
+type savedFacts struct {
+	Facts []analysis.PackageFact
+}
+
+func registerFactTypes() {
+	for _, a := range suite {
+		for _, f := range a.FactTypes {
+			// Register a non-nil instance of the concrete type.
+			gob.Register(reflect.New(reflect.TypeOf(f).Elem()).Interface())
+		}
+	}
+}
+
+func unitCheck(cfgFile string) {
+	registerFactTypes()
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("read %s: %v", cfgFile, err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parse %s: %v", cfgFile, err)
+	}
+
+	facts := analysis.NewFactStore()
+	for _, vetx := range sortedValues(cfg.PackageVetx) {
+		loadVetx(vetx, facts)
+	}
+
+	inModule := cfg.ImportPath == modulePath || strings.HasPrefix(cfg.ImportPath, modulePath+"/") ||
+		strings.HasPrefix(cfg.ImportPath, modulePath+" [") // test-augmented variant
+	if !inModule {
+		// Standard-library (or foreign) unit visited only for facts:
+		// nothing to analyze, just keep the fact chain flowing.
+		writeVetx(cfg.VetxOutput, facts)
+		return
+	}
+
+	l := analysis.NewLoader()
+	for path, file := range cfg.PackageFile {
+		l.Exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			l.Exports[src] = file
+		}
+	}
+
+	var astFiles []*ast.File
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg.VetxOutput, facts)
+				return
+			}
+			fatalf("parse %s: %v", f, err)
+		}
+		astFiles = append(astFiles, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(cfg.ImportPath, l.Fset, astFiles, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, facts)
+			return
+		}
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	lp := &analysis.LoadedPackage{Path: cfg.ImportPath, Files: astFiles, Pkg: pkg, Info: info}
+	isTestFile := func(name string) bool {
+		return strings.HasSuffix(name, "_test.go")
+	}
+	diags, err := analysis.RunAnalyzers(suite, []*analysis.LoadedPackage{lp}, l.Fset, facts, isTestFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeVetx(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func loadVetx(file string, into *analysis.FactStore) {
+	f, err := os.Open(file)
+	if err != nil {
+		return // a dep with no vetx simply contributes no facts
+	}
+	defer f.Close()
+	var saved savedFacts
+	if err := gob.NewDecoder(f).Decode(&saved); err != nil {
+		return
+	}
+	for _, pf := range saved.Facts {
+		into.Set(pf.Path, pf.Fact)
+	}
+}
+
+func writeVetx(path string, facts *analysis.FactStore) {
+	if path == "" {
+		return
+	}
+	all := facts.All() // already sorted for deterministic bytes
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("write vetx: %v", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(savedFacts{Facts: all}); err != nil {
+		fatalf("encode vetx: %v", err)
+	}
+}
+
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "simvet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+// Package analysis is the foundation of simvet, the repository's own
+// static-analysis suite: a deliberately small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic, package facts) on top of the standard
+// library's go/ast and go/types.
+//
+// The paper's thesis is that a compiler can prove memory-management
+// properties ahead of execution instead of discovering them run by
+// run; simvet applies the same move to this repository's *own*
+// invariants. Everything the simulator guarantees dynamically —
+// byte-identical parallel campaigns, counter-exact flight recording,
+// seed-replayable chaos — rests on rules that used to be enforced only
+// by tests: no wall-clock time or unseeded randomness inside the
+// simulated stack, no map-iteration order leaking into rendered
+// output, every chaos injection site co-located with its flight-
+// recorder event, nil-tolerant fast paths on the instrumentation
+// types, no silently dropped errors from the storage layers. The
+// analyzers in the sibling packages (nodeterm, maporder, emitpair,
+// nilrecv, errdrop) prove those rules once, statically, in CI.
+//
+// Why not import golang.org/x/tools directly? The module is kept
+// dependency-free on purpose (the simulator itself uses nothing but
+// the standard library), so this package mirrors the x/tools API
+// shape closely enough that the analyzers could be ported to the real
+// framework by changing imports, while the driver (cmd/simvet)
+// implements both a standalone whole-program mode and the `go vet
+// -vettool` unit-checker protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Analyzer describes one static-analysis pass. Each simvet pass owns
+// exactly one diagnostic code (SV001..SV005).
+type Analyzer struct {
+	// Name is the short pass name, e.g. "nodeterm".
+	Name string
+	// Code is the stable diagnostic code, e.g. "SV001". Every
+	// diagnostic the pass reports carries this code, and
+	// `//simvet:allow SV001 <reason>` suppresses it line by line.
+	Code string
+	// Doc is the one-paragraph description shown by `simvet -help`.
+	Doc string
+	// Run executes the pass over one package.
+	Run func(*Pass) error
+	// FactTypes lists the package-fact prototypes the pass exports or
+	// imports; the drivers register them for (de)serialization.
+	FactTypes []Fact
+}
+
+// Fact is a package-level fact: a gob-encodable pointer type that one
+// pass attaches to a package and downstream passes (analyzing
+// importers of that package) can retrieve. Facts are how emitpair
+// checks whole-registry properties package by package.
+type Fact interface {
+	// AFact is a marker method (same convention as x/tools).
+	AFact()
+}
+
+// Diagnostic is one finding, positioned in the analyzed package's
+// file set.
+type Diagnostic struct {
+	Pos     token.Pos
+	Code    string
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics; installed by the driver.
+	report func(Diagnostic)
+	// facts is the driver's shared fact store.
+	facts *FactStore
+}
+
+// NewPass assembles a Pass; drivers use it, analyzers never do.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, facts: facts, report: report}
+}
+
+// Reportf records a diagnostic at pos under the analyzer's code.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Code: p.Analyzer.Code, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportPackageFact attaches fact to the package being analyzed.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.Set(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the fact of fact's concrete type previously
+// exported for pkg into *fact, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.facts.Get(pkg.Path(), fact)
+}
+
+// ImportPathFact is ImportPackageFact keyed by import path directly;
+// the emitpair whole-registry check walks transitive imports by path.
+func (p *Pass) ImportPathFact(path string, fact Fact) bool {
+	return p.facts.Get(path, fact)
+}
+
+// AllFacts returns every package fact accumulated so far in this run
+// (in vet-tool mode: the unit's own facts plus everything carried in
+// by its imports' .vetx files). Whole-program checks on the facade
+// package union over these.
+func (p *Pass) AllFacts() []PackageFact {
+	return p.facts.All()
+}
+
+// FactStore holds package facts for a whole driver run, keyed by
+// (package path, concrete fact type).
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+type factKey struct {
+	path string
+	typ  reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey]Fact{}}
+}
+
+// Set records fact for the package at path, replacing any previous
+// fact of the same concrete type.
+func (s *FactStore) Set(path string, fact Fact) {
+	s.m[factKey{path, reflect.TypeOf(fact)}] = fact
+}
+
+// Get copies the stored fact of out's concrete type for path into
+// *out, reporting whether one existed. out must be a non-nil pointer,
+// like the x/tools fact API.
+func (s *FactStore) Get(path string, out Fact) bool {
+	got, ok := s.m[factKey{path, reflect.TypeOf(out)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(out).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// All returns every stored fact as (path, fact) pairs, sorted by
+// package path then fact type so .vetx serialization and any
+// diagnostics derived from the iteration stay deterministic.
+func (s *FactStore) All() []PackageFact {
+	var out []PackageFact
+	for k, f := range s.m {
+		out = append(out, PackageFact{Path: k.path, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return reflect.TypeOf(a.Fact).String() < reflect.TypeOf(b.Fact).String()
+	})
+	return out
+}
+
+// PackageFact pairs a fact with the package path it belongs to.
+type PackageFact struct {
+	Path string
+	Fact Fact
+}

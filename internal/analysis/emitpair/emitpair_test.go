@@ -1,0 +1,15 @@
+package emitpair_test
+
+import (
+	"testing"
+
+	"memhogs/internal/analysis/analysistest"
+	"memhogs/internal/analysis/emitpair"
+)
+
+func TestEmitpair(t *testing.T) {
+	// Dependency order matters: the registries export their
+	// declaration facts, the emitters their usage facts, and the
+	// facade unions them for the whole-program checks.
+	analysistest.Run(t, "testdata", emitpair.Analyzer, "events", "chaos", "pageout", "memhogs")
+}

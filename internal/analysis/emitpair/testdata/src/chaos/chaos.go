@@ -1,0 +1,31 @@
+// Package chaos is a fixture injector mirroring the real fault
+// engine: Site constants plus Fire/FireDelay/FireExtra. GhostSite is
+// deliberately never injected anywhere, so the whole-program check
+// must flag it at the facade; MemShrink is engine-scheduled and
+// exempt.
+package chaos
+
+// Site identifies one injection point.
+type Site uint8
+
+// The fixture site registry.
+const (
+	ReleaserStall Site = iota
+	StaleShared
+	DiskSlow
+	MemShrink
+	GhostSite
+	NumSites
+)
+
+// Injector decides whether a fault fires.
+type Injector struct{ armed bool }
+
+// Fire reports whether the fault fires at this site.
+func (in *Injector) Fire(s Site, actor string, page int) bool { return in != nil && in.armed }
+
+// FireDelay returns an injected delay for the site, 0 when unarmed.
+func (in *Injector) FireDelay(s Site, actor string) int64 { return 0 }
+
+// FireExtra returns an injected extra-work amount for the site.
+func (in *Injector) FireExtra(s Site, actor string) int { return 0 }

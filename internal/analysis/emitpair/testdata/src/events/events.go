@@ -1,0 +1,30 @@
+// Package events is a fixture registry mirroring the real flight
+// recorder: Kind constants plus a nil-safe Recorder.Emit. GhostKind
+// is deliberately never emitted anywhere, so the whole-program check
+// must flag it at the facade.
+package events
+
+// Kind identifies one event type.
+type Kind uint8
+
+// The fixture registry.
+const (
+	ReleaserFree Kind = iota
+	DaemonWake
+	PMRefresh
+	GhostKind
+	KindCount
+)
+
+// Recorder counts emitted events.
+type Recorder struct {
+	counts [KindCount]uint64
+}
+
+// Emit records one event; nil receivers are a no-op.
+func (r *Recorder) Emit(k Kind, actor, target string, page int, a, b int64) {
+	if r == nil {
+		return
+	}
+	r.counts[k]++
+}

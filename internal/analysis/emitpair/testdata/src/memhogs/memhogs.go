@@ -1,0 +1,18 @@
+// Package memhogs is the fixture facade: like the real module root it
+// transitively imports every emitter, so the whole-program registry
+// checks run here and the dead entries surface on the registry
+// imports.
+package memhogs
+
+import (
+	"chaos"  // want `chaos\.Site GhostSite \(declared at .*chaos.go:\d+\) is never injected in non-test code`
+	"events" // want `events\.Kind GhostKind \(declared at .*events.go:\d+\) is never emitted in non-test code`
+	"pageout"
+)
+
+// Wire returns the fixture stack's registries, referencing every
+// package so the facade mirrors the real module root.
+func Wire(d *pageout.Daemon) (events.Kind, chaos.Site) {
+	d.GoodDirect(0)
+	return events.KindCount, chaos.NumSites
+}

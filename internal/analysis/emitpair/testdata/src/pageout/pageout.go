@@ -1,0 +1,70 @@
+// Package pageout is a fixture exercising the co-location rule:
+// every probabilistic injection must sit next to the Emit that
+// records the stack's reaction.
+package pageout
+
+import (
+	"chaos"
+	"events"
+)
+
+// Daemon couples an injector with a recorder, like the real layers.
+type Daemon struct {
+	ev  *events.Recorder
+	inj *chaos.Injector
+}
+
+// BadStall injects with no event anywhere in reach.
+func (d *Daemon) BadStall() {
+	d.inj.FireDelay(chaos.ReleaserStall, "releaserd") // want `chaos site ReleaserStall injected without a co-located events\.Emit`
+}
+
+// BadWrongKind injects a releaser stall but records only a daemon
+// wake — not one of the stall's matching kinds.
+func (d *Daemon) BadWrongKind() {
+	d.inj.FireDelay(chaos.ReleaserStall, "releaserd") // want `chaos site ReleaserStall injected without a co-located events\.Emit`
+	d.ev.Emit(events.DaemonWake, "pageoutd", "", -1, 0, 0)
+}
+
+// BadVariableSite hides the site behind a variable, defeating the
+// registry audit.
+func (d *Daemon) BadVariableSite(s chaos.Site) {
+	d.inj.Fire(s, "releaserd", 1) // want `non-constant site argument`
+}
+
+// GoodDirect pairs the injection with a matching emit in the same
+// function.
+func (d *Daemon) GoodDirect(vpn int) {
+	d.inj.FireDelay(chaos.ReleaserStall, "releaserd")
+	d.ev.Emit(events.ReleaserFree, "releaserd", "", vpn, 0, 0)
+}
+
+// GoodHelper pairs through one hop: the directly-called helper emits.
+func (d *Daemon) GoodHelper(vpn int) {
+	d.inj.FireDelay(chaos.ReleaserStall, "releaserd")
+	d.free(vpn)
+}
+
+func (d *Daemon) free(vpn int) {
+	d.ev.Emit(events.ReleaserFree, "releaserd", "", vpn, 0, 0)
+}
+
+// GoodShared covers the single-kind pairing (stale shared page →
+// refresh).
+func (d *Daemon) GoodShared() {
+	if d.inj.Fire(chaos.StaleShared, "pm", -1) {
+		d.ev.Emit(events.PMRefresh, "pm", "", -1, 0, 0)
+	}
+}
+
+// GoodEngineSite: disk latency is engine-accounted (ChaosInject
+// only), so no co-location obligation.
+func (d *Daemon) GoodEngineSite() int64 {
+	return d.inj.FireDelay(chaos.DiskSlow, "disk")
+}
+
+// AllowedStall demonstrates the allowlist escape hatch.
+func (d *Daemon) AllowedStall() {
+	//simvet:allow SV003 stall visible through the releaser queue-depth counter instead
+	d.inj.FireDelay(chaos.ReleaserStall, "releaserd")
+}

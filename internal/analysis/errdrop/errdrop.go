@@ -1,0 +1,142 @@
+// Package errdrop implements SV005: errors from operations the chaos
+// engine can make fail must not vanish. The fault injector turns disk
+// reads into transient errors and memory into a shrinking resource;
+// a call site that drops the returned error converts an injected,
+// recoverable fault into silent corruption the audit can no longer
+// attribute. The pass flags two shapes — a bare call statement whose
+// audited callee returns an error, and a multi-value assignment that
+// blanks the error position — for callees in the simulated stack
+// (disk, mem, kernel, vm, pageout, rt, pdpm, chaos, driver, sim) and
+// for real file I/O in package os. A lone `_ = f()` stays legal: it
+// is a visible, greppable statement of intent, unlike a silently
+// ignored result. Deferred and go'd calls are exempt (their results
+// are unobtainable).
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memhogs/internal/analysis"
+)
+
+// Analyzer is the SV005 pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Code: "SV005",
+	Doc: "flag discarded errors from disk/mem/os operations that fault injection " +
+		"can make fail; handle them or discard visibly with `_ =`",
+	Run: run,
+}
+
+// simPkgs are the audited callee packages of the simulated stack.
+var simPkgs = map[string]bool{
+	"disk": true, "mem": true, "kernel": true, "vm": true,
+	"pageout": true, "rt": true, "pdpm": true, "chaos": true,
+	"driver": true, "sim": true,
+}
+
+// osFuncs are the package-level file operations audited in os.
+var osFuncs = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true,
+	"WriteFile": true, "ReadFile": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "Truncate": true,
+	"Chdir": true, "Symlink": true, "Link": true,
+}
+
+// fileMethods are the audited *os.File methods.
+var fileMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"Close": true, "Sync": true, "Truncate": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false // results are unobtainable by design
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := analysis.CalleeFunc(pass.TypesInfo, call)
+				if !auditedCallee(callee) {
+					return true
+				}
+				if errorResultIndex(callee) >= 0 {
+					pass.Reportf(call.Pos(), "%s returns an error that is silently discarded; handle it or discard visibly with `_ =`", calleeLabel(callee))
+				}
+				return true
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `n, _ := f.Write(b)`-style blanked errors in
+// multi-value assignments from audited callees. A single-result
+// `_ = f()` is deliberately allowed.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if !auditedCallee(callee) {
+		return
+	}
+	idx := errorResultIndex(callee)
+	if idx < 0 || idx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := ast.Unparen(as.Lhs[idx]).(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error result of %s is blanked while its other results are used; a chaos-injected failure would pass unnoticed", calleeLabel(callee))
+	}
+}
+
+func auditedCallee(f *types.Func) bool {
+	if f == nil {
+		return false
+	}
+	path := analysis.FuncPkgPath(f)
+	if path == "os" {
+		if named := analysis.ReceiverNamed(f); named != nil {
+			return named.Obj().Name() == "File" && fileMethods[f.Name()]
+		}
+		return osFuncs[f.Name()]
+	}
+	return analysis.MatchesScope(path, simPkgs)
+}
+
+// errorResultIndex returns the index of the last error-typed result,
+// or -1.
+func errorResultIndex(f *types.Func) int {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := sig.Results().Len() - 1; i >= 0; i-- {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return i
+		}
+	}
+	return -1
+}
+
+func calleeLabel(f *types.Func) string {
+	if named := analysis.ReceiverNamed(f); named != nil {
+		return "(*" + named.Obj().Name() + ")." + f.Name()
+	}
+	return f.Pkg().Name() + "." + f.Name()
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"memhogs/internal/analysis/analysistest"
+	"memhogs/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "disk", "caller")
+}

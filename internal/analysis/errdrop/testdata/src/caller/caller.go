@@ -1,0 +1,60 @@
+// Package caller exercises the discarded-error shapes against the
+// audited disk fixture and package os.
+package caller
+
+import (
+	"os"
+
+	"disk"
+)
+
+// BadStatement drops the submit error on the floor.
+func BadStatement(d *disk.Disk) {
+	d.Submit(3) // want `\(\*Disk\)\.Submit returns an error that is silently discarded`
+}
+
+// BadBlank uses the count but blanks the error.
+func BadBlank(d *disk.Disk) int {
+	n, _ := d.Flush() // want `error result of \(\*Disk\)\.Flush is blanked`
+	return n
+}
+
+// BadPackageFunc drops a package-level error.
+func BadPackageFunc() {
+	disk.Park() // want `disk\.Park returns an error that is silently discarded`
+}
+
+// BadFileWrite is the os shape: a write whose failure disappears.
+func BadFileWrite(f *os.File, b []byte) {
+	f.Write(b) // want `\(\*File\)\.Write returns an error that is silently discarded`
+}
+
+// GoodPropagate hands the error up.
+func GoodPropagate(d *disk.Disk) error {
+	return d.Submit(3)
+}
+
+// GoodChecked handles it in place.
+func GoodChecked(d *disk.Disk) int {
+	n, err := d.Flush()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// GoodExplicitDiscard is the sanctioned visible discard.
+func GoodExplicitDiscard(d *disk.Disk) {
+	_ = d.Submit(3)
+}
+
+// GoodDefer: a deferred close has nowhere to send its error.
+func GoodDefer(f *os.File) {
+	defer f.Close()
+}
+
+// AllowedFlush demonstrates the allowlist escape hatch.
+func AllowedFlush(d *disk.Disk) {
+	//simvet:allow SV005 best-effort flush on the shutdown path, failure already logged upstream
+	d.Submit(9)
+}

@@ -1,0 +1,15 @@
+// Package disk is a fixture audited storage layer: chaos can turn
+// any of these calls into a transient failure.
+package disk
+
+// Disk models the storage device.
+type Disk struct{ busy bool }
+
+// Submit enqueues one page write.
+func (d *Disk) Submit(page int) error { return nil }
+
+// Flush drains the queue, reporting pages written.
+func (d *Disk) Flush() (int, error) { return 0, nil }
+
+// Park spins the device down.
+func Park() error { return nil }

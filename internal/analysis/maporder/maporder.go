@@ -1,0 +1,192 @@
+// Package maporder implements SV002: map iteration order must never
+// reach rendered output. The campaign engine promises byte-identical
+// reports at any worker count and the flight recorder promises
+// deterministic traces; a `for k := range m` whose body appends to a
+// slice, writes to an io.Writer/strings.Builder, or emits events
+// bakes Go's randomized map order into those bytes. Appending into a
+// slice is legal when the function visibly sorts afterwards (the
+// collect-then-sort idiom used throughout the repo); writes and event
+// emissions inside the loop are always flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"memhogs/internal/analysis"
+)
+
+// Analyzer is the SV002 pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Code: "SV002",
+	Doc: "flag map-range loops whose body appends to a slice (without a later sort), " +
+		"writes to an io.Writer, or emits events — map order would leak into rendered output",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Sort calls anywhere in the function discharge append-effects of
+	// map-range loops that precede them.
+	var sortPositions []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		switch analysis.FuncPkgPath(callee) {
+		case "sort", "slices":
+			sortPositions = append(sortPositions, call.Pos())
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rs, sortPositions)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, sortPositions []token.Pos) {
+	sortedAfter := func() bool {
+		for _, p := range sortPositions {
+			if p > rs.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, rs, n)
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x was declared before the
+			// loop: iteration order becomes element order.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					// Appends into indexed/field targets keyed by the
+					// map key (byPrio[k] = append(...)) are
+					// order-independent; leave them alone.
+					continue
+				}
+				obj := pass.TypesInfo.Defs[target]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[target]
+				}
+				if obj == nil || obj.Pos() >= rs.Pos() {
+					continue // declared inside the loop: per-iteration state
+				}
+				if sortedAfter() {
+					continue // collect-then-sort idiom
+				}
+				pass.Reportf(n.Pos(), "append to %q inside range over map without a later sort; the slice inherits random map order", target.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	name := callee.Name()
+	switch analysis.FuncPkgPath(callee) {
+	case "fmt":
+		if strings.HasPrefix(name, "Fprint") {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map; the writer sees random map order — iterate sorted keys instead", name)
+		}
+		return
+	case "io":
+		if name == "WriteString" {
+			pass.Reportf(call.Pos(), "io.WriteString inside range over map; the writer sees random map order — iterate sorted keys instead")
+		}
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	switch {
+	case name == "Emit":
+		pass.Reportf(call.Pos(), "event emission %s.Emit inside range over map; the event stream would record random map order", recvTypeName(callee))
+	case name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune":
+		// Builders and writers constructed inside the loop body hold
+		// per-iteration state; only writes to longer-lived sinks leak
+		// the order.
+		if recvDeclaredBefore(pass.TypesInfo, call, rs.Pos()) {
+			pass.Reportf(call.Pos(), "%s.%s inside range over map; the output sees random map order — iterate sorted keys instead", recvTypeName(callee), name)
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func recvTypeName(f *types.Func) string {
+	if named := analysis.ReceiverNamed(f); named != nil {
+		return named.Obj().Name()
+	}
+	return "receiver"
+}
+
+// recvDeclaredBefore reports whether the method call's receiver is an
+// identifier declared before pos (a long-lived sink) rather than a
+// per-iteration local. Non-identifier receivers (fields, index
+// expressions) are conservatively treated as long-lived.
+func recvDeclaredBefore(info *types.Info, call *ast.CallExpr, pos token.Pos) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < pos
+}

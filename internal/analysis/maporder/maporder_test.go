@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"memhogs/internal/analysis/analysistest"
+	"memhogs/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "render")
+}

@@ -1,0 +1,98 @@
+// Package render is a fixture of rendering code over maps: the bad
+// shapes leak Go's randomized map order into output; the good shapes
+// sort first or keep per-iteration state.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stream is a stand-in for an event recorder.
+type Stream struct{ n int }
+
+// Emit records one event.
+func (s *Stream) Emit(kind string, v int) { s.n++ }
+
+// BadReport writes rows straight out of map order.
+func BadReport(w *strings.Builder, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+// BadCollect builds a row slice in map order and never sorts it.
+func BadCollect(counts map[string]int) []string {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k) // want `append to "rows" inside range over map without a later sort`
+	}
+	return rows
+}
+
+// BadEmit replays a map into the event stream in random order.
+func BadEmit(s *Stream, counts map[string]int) {
+	for k, v := range counts {
+		s.Emit(k, v) // want `event emission Stream\.Emit inside range over map`
+	}
+}
+
+// BadBuilder writes to a long-lived builder from inside the loop.
+func BadBuilder(counts map[string]int) string {
+	var b strings.Builder
+	for k := range counts {
+		b.WriteString(k) // want `Builder\.WriteString inside range over map`
+	}
+	return b.String()
+}
+
+// GoodCollectThenSort is the sanctioned idiom: gather, then sort.
+func GoodCollectThenSort(counts map[string]int) []string {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// GoodPerIteration state declared inside the loop body never leaks
+// order across iterations.
+func GoodPerIteration(counts map[string]int) int {
+	total := 0
+	for k := range counts {
+		var b strings.Builder
+		b.WriteString(k)
+		total += b.Len()
+	}
+	return total
+}
+
+// GoodKeyedInsert writes into a map keyed by the iteration variable;
+// insertion order of a map is irrelevant.
+func GoodKeyedInsert(counts map[string]int) map[string][]int {
+	out := map[string][]int{}
+	for k, v := range counts {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+// GoodSum is pure reduction: no order-dependent effect at all.
+func GoodSum(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// AllowedDebugDump demonstrates the allowlist: a debug-only dump that
+// deliberately tolerates unstable order.
+func AllowedDebugDump(w *strings.Builder, counts map[string]int) {
+	for k := range counts {
+		//simvet:allow SV002 debug dump, order deliberately unstable and never diffed
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,12 @@
+package nilrecv_test
+
+import (
+	"testing"
+
+	"memhogs/internal/analysis/analysistest"
+	"memhogs/internal/analysis/nilrecv"
+)
+
+func TestNilrecv(t *testing.T) {
+	analysistest.Run(t, "testdata", nilrecv.Analyzer, "stream")
+}

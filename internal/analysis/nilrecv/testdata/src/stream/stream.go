@@ -1,0 +1,89 @@
+// Package stream is a fixture for the nil-receiver discipline on
+// instrumentation types.
+package stream
+
+// Stream mimics the flight recorder: nil when recording is off.
+//
+//simvet:nilsafe
+type Stream struct {
+	events []int
+	n      int
+}
+
+// Emit is the canonical shape: guard, then work.
+func (s *Stream) Emit(v int) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, v)
+	s.n++
+}
+
+// Len uses the inverted guard shape.
+func (s *Stream) Len() int {
+	if s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// Last combines the nil check with an emptiness check; || short-
+// circuits, so the right side never evaluates on a nil receiver.
+func (s *Stream) Last() int {
+	if s == nil || len(s.events) == 0 {
+		return -1
+	}
+	return s.events[len(s.events)-1]
+}
+
+// Tail touches the receiver only through checked method calls.
+func (s *Stream) Tail() int {
+	if s.Len() == 0 {
+		return -1
+	}
+	return s.Len() - 1
+}
+
+// Stop forgets the guard and writes a field.
+func (s *Stream) Stop() {
+	s.n = 0 // want `exported method \(\*Stream\)\.Stop dereferences its receiver without a leading nil guard`
+}
+
+// Snapshot guards too late: the dereference precedes the check.
+func (s *Stream) Snapshot() []int {
+	out := append([]int(nil), s.events...) // want `exported method \(\*Stream\)\.Snapshot dereferences its receiver without a leading nil guard`
+	if s == nil {
+		return nil
+	}
+	return out
+}
+
+// reset is unexported: internal callers own the nil check.
+func (s *Stream) reset() {
+	s.events = s.events[:0]
+}
+
+// Sampler has no marker, so its methods may assume non-nil receivers.
+type Sampler struct{ ticks int }
+
+// Tick is legal: Sampler never claimed nil-safety.
+func (p *Sampler) Tick() { p.ticks++ }
+
+// Meter is marked but its flagged method carries an allowlist entry.
+//
+//simvet:nilsafe
+type Meter struct{ total int }
+
+// Add documents why this one method may assume a receiver.
+func (m *Meter) Add(v int) {
+	//simvet:allow SV004 Add is only reachable from Attach, which allocates the Meter
+	m.total += v
+}
+
+// Total keeps the contract.
+func (m *Meter) Total() int {
+	if m == nil {
+		return 0
+	}
+	return m.total
+}

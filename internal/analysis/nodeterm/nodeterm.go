@@ -1,0 +1,91 @@
+// Package nodeterm implements SV001: the simulated stack must be a
+// pure function of its inputs. Inside the simulator packages
+// (internal/{kernel,vm,pageout,rt,pdpm,disk,chaos,driver,sim}) any
+// reference to wall-clock time (time.Now and friends), to the global
+// math/rand generators, or to process environment lookups would make
+// runs non-reproducible: virtual time comes from sim.Time and
+// randomness from per-site seeded sim.Rand streams. Campaign
+// parallelism, flight-recorder byte-determinism, and chaos replay all
+// assume this. Sanctioned call sites (none today) take a
+// `//simvet:allow SV001 reason` directive.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memhogs/internal/analysis"
+)
+
+// Analyzer is the SV001 pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Code: "SV001",
+	Doc: "forbid wall-clock time, global math/rand, and environment lookups " +
+		"inside the simulated stack; use sim.Time and per-site seeded sim.Rand streams",
+	Run: run,
+}
+
+// audited is the set of simulated-stack packages (matched as
+// internal/<name> in the real tree, or the bare name in testdata).
+var audited = map[string]bool{
+	"kernel": true, "vm": true, "pageout": true, "rt": true,
+	"pdpm": true, "disk": true, "chaos": true, "driver": true, "sim": true,
+}
+
+// timeFuncs are the wall-clock entry points of package time. Pure
+// arithmetic (time.Duration, time.Unix) stays legal: only functions
+// that read or wait on the host clock are banned.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// osFuncs are the environment lookups: values derived from them vary
+// between hosts and CI runs.
+var osFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.MatchesScope(pass.Pkg.Path(), audited) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				// Naming the rand.Rand type in a signature is fine;
+				// only calls into the packages are nondeterministic.
+				return true
+			}
+			name := obj.Name()
+			switch obj.Pkg().Path() {
+			case "time":
+				if timeFuncs[name] {
+					pass.Reportf(sel.Pos(), "wall-clock call time.%s in simulated package %s; use virtual sim.Time", name, pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Any use of the package is banned: the top-level
+				// functions share unseeded global state, and even a
+				// locally constructed rand.New escapes the per-site
+				// stream discipline sim.Rand enforces.
+				pass.Reportf(sel.Pos(), "math/rand reference rand.%s in simulated package %s; use a per-site seeded sim.Rand stream", name, pass.Pkg.Name())
+			case "os":
+				if osFuncs[name] {
+					pass.Reportf(sel.Pos(), "environment lookup os.%s in simulated package %s; thread configuration through explicit parameters", name, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"memhogs/internal/analysis/analysistest"
+	"memhogs/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	// kernel is audited (true positives + an allowlisted site);
+	// metrics is outside the simulated stack (all negatives).
+	analysistest.Run(t, "testdata", nodeterm.Analyzer, "kernel", "metrics")
+}

@@ -1,0 +1,53 @@
+// Package kernel is a fixture standing in for the simulated kernel:
+// it sits inside the audited scope, so every wall-clock, global-rand,
+// and environment reference below must be flagged.
+package kernel
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock tracks elapsed time the wrong way.
+type Clock struct {
+	start time.Time
+}
+
+// Start captures the host clock.
+func (c *Clock) Start() {
+	c.start = time.Now() // want `wall-clock call time\.Now`
+}
+
+// Elapsed measures against the host clock.
+func (c *Clock) Elapsed() time.Duration {
+	return time.Since(c.start) // want `wall-clock call time\.Since`
+}
+
+// Jitter draws from the unseeded global generator.
+func Jitter(n int) int {
+	return rand.Intn(n) // want `math/rand reference rand\.Intn`
+}
+
+// Seeded still escapes the per-site stream discipline.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand reference rand\.New` `math/rand reference rand\.NewSource`
+}
+
+// Tuned reads host configuration at simulation time.
+func Tuned() string {
+	return os.Getenv("MEMHOG_TUNING") // want `environment lookup os\.Getenv`
+}
+
+// BootBanner is the sanctioned exception: the one-off startup banner
+// may timestamp itself, which the allowlist records with a reason.
+func BootBanner() time.Time {
+	//simvet:allow SV001 startup banner timestamps the human-readable log header only
+	return time.Now()
+}
+
+// Arithmetic on durations never touches the host clock and stays
+// legal.
+func Arithmetic(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

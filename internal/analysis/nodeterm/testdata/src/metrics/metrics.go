@@ -1,0 +1,20 @@
+// Package metrics is a fixture outside the audited simulator scope:
+// reporting code may read the host clock and environment freely, so
+// nothing here is flagged.
+package metrics
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp timestamps a report; legal outside the simulated stack.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// OutputDir reads host configuration; legal outside the simulated
+// stack.
+func OutputDir() string {
+	return os.Getenv("MEMHOG_OUT")
+}

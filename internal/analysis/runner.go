@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// RenderedDiag is a diagnostic resolved to a concrete file position,
+// ready to print and to match against suppression directives.
+type RenderedDiag struct {
+	File    string // path as recorded in the file set
+	Line    int
+	Col     int
+	Code    string
+	Message string
+}
+
+func (d RenderedDiag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Code, d.Message)
+}
+
+// allowRE matches the suppression directive. The reason is mandatory:
+// an allowlist entry without a justification is itself a smell.
+//
+//	//simvet:allow SV001 startup banner timestamps the log header
+var allowRE = regexp.MustCompile(`^//simvet:allow\s+(SV\d{3})\s+\S`)
+
+// allowSet records, per file and line, the diagnostic codes allowed
+// there. A directive suppresses matching diagnostics on its own line
+// and on the line directly below it (so it can sit above the
+// offending statement).
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, code string) {
+	if s[file] == nil {
+		s[file] = map[int]map[string]bool{}
+	}
+	if s[file][line] == nil {
+		s[file][line] = map[string]bool{}
+	}
+	s[file][line][code] = true
+}
+
+func (s allowSet) allows(d RenderedDiag) bool {
+	lines := s[d.File]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Line][d.Code] || lines[d.Line-1][d.Code]
+}
+
+// collectAllows scans a file's comments for //simvet:allow directives.
+func collectAllows(fset *token.FileSet, f *ast.File, into allowSet) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			into.add(pos.Filename, pos.Line, m[1])
+		}
+	}
+}
+
+// RunAnalyzers executes each analyzer over each loaded package (in
+// the given order, which must be dependency order so package facts
+// flow upward), applies //simvet:allow suppression, and returns the
+// surviving diagnostics sorted by position. testFile, when non-nil,
+// marks files whose diagnostics should be dropped (used by the
+// vet-tool driver, whose compilation units include _test.go files).
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*LoadedPackage, fset *token.FileSet, facts *FactStore, testFile func(string) bool) ([]RenderedDiag, error) {
+	allows := allowSet{}
+	for _, lp := range pkgs {
+		for _, f := range lp.Files {
+			collectAllows(fset, f, allows)
+		}
+	}
+	var diags []RenderedDiag
+	for _, lp := range pkgs {
+		for _, a := range analyzers {
+			report := func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				diags = append(diags, RenderedDiag{
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Code:    d.Code,
+					Message: d.Message,
+				})
+			}
+			pass := NewPass(a, fset, lp.Files, lp.Pkg, lp.Info, facts, report)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, lp.Path, err)
+			}
+		}
+	}
+	var kept []RenderedDiag
+	for _, d := range diags {
+		if allows.allows(d) {
+			continue
+		}
+		if testFile != nil && testFile(d.File) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+	return kept, nil
+}
+
+// Relativize rewrites each diagnostic's file path relative to dir
+// when possible, for stable, readable output.
+func Relativize(dir string, diags []RenderedDiag) {
+	for i := range diags {
+		if rel, err := filepath.Rel(dir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}
