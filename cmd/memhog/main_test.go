@@ -1,0 +1,51 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestUsageListsEveryCommand pins the contract behind the registry:
+// a subcommand cannot be dispatchable without appearing in the -h
+// output (historically trace/chaos were added to the switch but not
+// the help text).
+func TestUsageListsEveryCommand(t *testing.T) {
+	text := usageText()
+	for _, c := range commands {
+		re := regexp.MustCompile(`(^|\s)` + regexp.QuoteMeta(c.name) + `(\s|$)`)
+		if !re.MatchString(text) {
+			t.Errorf("subcommand %q missing from usage text:\n%s", c.name, text)
+		}
+		if c.brief == "" {
+			t.Errorf("subcommand %q has no description", c.name)
+		}
+	}
+	// The critical quartet from the issue must be registered at all.
+	for _, name := range []string{"chaos", "chaosmatrix", "trace", "vet"} {
+		found := false
+		for _, c := range commands {
+			if c.name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected subcommand %q to be registered", name)
+		}
+	}
+}
+
+// TestCommandNamesUnique guards against a registry entry shadowing
+// another (dispatch takes the first match).
+func TestCommandNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range commands {
+		if seen[c.name] {
+			t.Errorf("duplicate subcommand %q", c.name)
+		}
+		seen[c.name] = true
+		if strings.TrimSpace(c.name) != c.name || c.name == "" {
+			t.Errorf("malformed subcommand name %q", c.name)
+		}
+	}
+}

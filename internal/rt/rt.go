@@ -514,8 +514,17 @@ func (l *Layer) Flush() {
 		l.lateHints = l.lateHints[1:]
 		l.release1(h.tag, h.prio, h.page)
 	}
+	// Drain in sorted priority order: ranging over the queue map
+	// directly would bake random map order into the release batch (and
+	// so into disk-queue and event order). Found by simvet SV002.
+	var prios []int
+	for p := range l.queues {
+		prios = append(prios, p)
+	}
+	sort.Ints(prios)
 	var all []int
-	for _, q := range l.queues {
+	for _, p := range prios {
+		q := l.queues[p]
 		all = append(all, q.pages...)
 		q.pages = q.pages[:0]
 	}

@@ -227,3 +227,17 @@ func TestGaugeClamps(t *testing.T) {
 		t.Error("zero max not handled")
 	}
 }
+
+// TestNilRecorder pins the one-branch-when-off contract simvet SV004
+// enforces statically: a nil *Recorder (tracing off) must be safe to
+// stop and render.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Stop() // must not panic
+	if got := r.Render(10); got != "tracing disabled\n" {
+		t.Errorf("nil Render = %q", got)
+	}
+	if got := r.Summary(); got != "no samples" {
+		t.Errorf("nil Summary = %q", got)
+	}
+}
