@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet lint bench examples experiments verify golden trace chaos fuzz clean
+.PHONY: all build test vet hogvet simvet lint bench examples experiments verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -21,7 +21,13 @@ hogvet: build
 		go run ./cmd/hogc -vet -stats=false -bench $$b >/dev/null || exit 1; \
 	done
 
-lint: build vet hogvet
+# Simulator-source invariants: the five SV passes (determinism,
+# map-order, emit pairing, nil-safe recorders, dropped errors) over
+# the whole module. Exits non-zero on any diagnostic.
+simvet: build
+	go run ./cmd/simvet ./...
+
+lint: build vet hogvet simvet
 
 test: build vet
 	go test ./...

@@ -12,6 +12,7 @@ import (
 	"memhogs/internal/compiler"
 	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
+	"memhogs/internal/lang"
 	"memhogs/internal/workload"
 )
 
@@ -23,6 +24,52 @@ func main() {
 		write("internal/compiler/testdata/"+s.Name+".golden", c.Listing())
 		write("internal/hogvet/testdata/"+s.Name+".golden", hogvet.Vet(c).String())
 	}
+	write("internal/hogvet/testdata/deadhint.golden", deadHintListing(tgt))
+}
+
+// deadHintListing regenerates the HV010 golden: it compiles the
+// deadhint fixture and appends a synthetic release for the
+// never-referenced array b, cloned from a's release so every other
+// check stays quiet. internal/hogvet's deadhint_test.go duplicates
+// this construction; keep the two in sync.
+func deadHintListing(tgt compiler.Target) string {
+	src, err := os.ReadFile("internal/hogvet/testdata/deadhint.hog")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := compiler.MustCompile(prog, tgt)
+	hints := c.Hints()
+	var dead *compiler.Hint
+	maxTag := 0
+	for i := range hints {
+		if hints[i].Tag > maxTag {
+			maxTag = hints[i].Tag
+		}
+		if hints[i].Kind == compiler.HintRelease {
+			dead = &hints[i]
+		}
+	}
+	var b *lang.Array
+	for _, a := range c.Prog.Arrays {
+		if a.Name == "b" {
+			b = a
+		}
+	}
+	if dead == nil || b == nil {
+		fmt.Fprintln(os.Stderr, "deadhint fixture lost its release hint or array b")
+		os.Exit(1)
+	}
+	synth := *dead
+	synth.Array = b
+	synth.Tag = maxTag + 1
+	ds := hogvet.VetSchedule(c.Prog, c.Target, append(hints, synth), hogvet.DefaultOptions())
+	return ds.String()
 }
 
 func write(path, content string) {

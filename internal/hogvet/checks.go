@@ -30,6 +30,7 @@ func VetSchedule(prog *lang.Program, tgt compiler.Target, hints []compiler.Hint,
 		v.checkHint(&hints[i])
 	}
 	v.checkDuplicates(hints)
+	v.checkDeadHints(hints)
 	v.checkNests(hints)
 	v.ds.sortStable()
 	return v.ds
@@ -206,6 +207,50 @@ func (v *vetCtx) checkDuplicates(hints []compiler.Hint) {
 		} else {
 			byRegion[key] = i
 		}
+	}
+}
+
+// checkDeadHints flags release directives whose target array is never
+// referenced anywhere in the enclosing nest and is not the target of
+// any other directive there (HV010). Such a hint cannot have come from
+// the nest's reference set: no access or prefetch can make the pages
+// resident, so every evaluation streams release hints the run-time
+// bitmap filter has to reject one by one. The stock compiler derives
+// hints from references and never produces these; they appear in
+// hand-written or corrupted schedules.
+func (v *vetCtx) checkDeadHints(hints []compiler.Hint) {
+	for i := range hints {
+		h := &hints[i]
+		if h.Kind != compiler.HintRelease || h.Affine == nil || len(h.Path) == 0 {
+			continue
+		}
+		live := false
+		for _, r := range v.nestRefs(h.Path[0]) {
+			if r.arr == h.Array {
+				live = true
+				break
+			}
+		}
+		for j := range hints {
+			if live {
+				break
+			}
+			if j != i && hints[j].Array == h.Array &&
+				len(hints[j].Path) > 0 && hints[j].Path[0] == h.Path[0] {
+				live = true
+			}
+		}
+		if live {
+			continue
+		}
+		v.add(Diagnostic{
+			Code: "HV010", Check: "dead-hint", Severity: Warning,
+			Proc: h.Proc, Line: hintLine(h), Array: arrName(h.Array), Tag: h.Tag,
+			Message: fmt.Sprintf("release of %s (tag %d) targets an array this nest never references",
+				arrName(h.Array), h.Tag),
+			Detail: "no reference or prefetch in the nest can make those pages resident, so every evaluation streams hints the run-time filter must reject one by one — pure per-iteration overhead",
+			Fix:    "remove the directive; it cannot have come from this nest's reference set",
+		})
 	}
 }
 

@@ -1,0 +1,93 @@
+package hogvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/hogvet"
+	"memhogs/internal/lang"
+)
+
+// deadHintSchedule compiles testdata/deadhint.hog and appends a
+// synthetic release for the never-referenced array b, cloned from a's
+// release so every other check stays quiet (consistent priority,
+// fresh tag). This is the shape a corrupted or hand-written schedule
+// produces; the stock compiler derives hints from references and
+// cannot emit it. cmd/gen-golden duplicates this construction when
+// regenerating the golden.
+func deadHintSchedule(t *testing.T) (*compiler.Compiled, []compiler.Hint) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "deadhint.hog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileSrc(t, string(src))
+	hints := c.Hints()
+	var dead *compiler.Hint
+	maxTag := 0
+	for i := range hints {
+		if hints[i].Tag > maxTag {
+			maxTag = hints[i].Tag
+		}
+		if hints[i].Kind == compiler.HintRelease {
+			dead = &hints[i]
+		}
+	}
+	if dead == nil {
+		t.Fatal("fixture compiled without a release hint for a")
+	}
+	var b *lang.Array
+	for _, a := range c.Prog.Arrays {
+		if a.Name == "b" {
+			b = a
+		}
+	}
+	if b == nil {
+		t.Fatal("fixture has no array b")
+	}
+	synth := *dead
+	synth.Array = b
+	synth.Tag = maxTag + 1
+	return c, append(hints, synth)
+}
+
+// TestDeadHintGolden locks the HV010 listing for the synthetic dead
+// release. Regenerate intentionally with `go run ./cmd/gen-golden`.
+func TestDeadHintGolden(t *testing.T) {
+	c, hints := deadHintSchedule(t)
+	got := vetTampered(c, hints).String()
+	want, err := os.ReadFile(filepath.Join("testdata", "deadhint.golden"))
+	if err != nil {
+		t.Fatalf("missing golden (run `go run ./cmd/gen-golden`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics changed; if intentional run `go run ./cmd/gen-golden`\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestDeadHintWarning pins the finding's shape independently of the
+// golden bytes, and the negative: the compiler's own schedule for the
+// fixture is clean, so HV010 can only fire on tampered schedules.
+func TestDeadHintWarning(t *testing.T) {
+	c, hints := deadHintSchedule(t)
+	if ds := hogvet.Vet(c); len(ds) != 0 {
+		t.Fatalf("compiler-produced schedule should be clean, got:\n%s", ds)
+	}
+	ds := vetTampered(c, hints).ByCode("HV010")
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 HV010, got:\n%s", vetTampered(c, hints))
+	}
+	d := ds[0]
+	if d.Severity != hogvet.Warning {
+		t.Errorf("HV010 severity = %v, want warning", d.Severity)
+	}
+	if d.Array != "b" {
+		t.Errorf("HV010 array = %q, want b", d.Array)
+	}
+	if !strings.Contains(d.Message, "never references") {
+		t.Errorf("HV010 message should explain the dead target: %q", d.Message)
+	}
+}

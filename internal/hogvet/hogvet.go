@@ -29,6 +29,10 @@
 //	HV009 unproven-release-region   note: the released array is also
 //	                                accessed through a different
 //	                                subscript pattern in the same nest
+//	HV010 dead-hint                 a release targets an array the
+//	                                enclosing nest never references —
+//	                                every evaluation is filtered
+//	                                run-time overhead
 //
 // HV000 (analysis-summary) is reserved for informational notes that
 // front ends route through the same formatter (cmd/hogc's -stats

@@ -1,0 +1,97 @@
+// Kind-coverage regression test: the dynamic complement of simvet's
+// SV003 registry check. SV003 proves statically that every events.Kind
+// has an Emit call site somewhere in non-test code; this test proves
+// the sites are actually reachable by accumulating recorder counters
+// over a small matrix of runs and requiring a nonzero total per kind.
+package memhogs
+
+import (
+	"testing"
+
+	"memhogs/internal/chaos"
+	"memhogs/internal/driver"
+	"memhogs/internal/events"
+	"memhogs/internal/kernel"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/workload"
+)
+
+// coverageRun is traceRun with an arbitrary config mutation (fault
+// plans, repeat mode, queue-cap stress).
+func coverageRun(t *testing.T, bench string, mode rt.Mode, mut func(*driver.RunConfig)) events.Counts {
+	t.Helper()
+	spec, err := workload.ScaledByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *events.Recorder
+	cfg := driver.TestRunConfig(mode)
+	if mut != nil {
+		mut(&cfg)
+	}
+	cfg.OnSystem = func(sys *kernel.System) {
+		rec = events.New(sys.Sim, 1<<18)
+		sys.SetEvents(rec)
+	}
+	if _, err := driver.Run(spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Counts()
+}
+
+// TestEveryEventKindObservable asserts that every registered kind is
+// produced by at least one run in the matrix below. If this fails
+// after adding a kind, either instrument the new decision point or
+// extend the matrix with a run that reaches it.
+func TestEveryEventKindObservable(t *testing.T) {
+	var total events.Counts
+	add := func(c events.Counts) {
+		for k := range c {
+			total[k] += c[k]
+		}
+	}
+
+	// The headline configuration: a full scaled FFTPDE run under the
+	// buffered version covers the fault, daemon, releaser, run-time
+	// buffering and shared-page paths.
+	add(coverageRun(t, "fftpde", rt.ModeBuffered, nil))
+
+	// Reactive mode is the only producer of daemon-donated: pages
+	// leave the buffered queues only when the daemon pulls them
+	// through the donor callback.
+	add(coverageRun(t, "fftpde", rt.ModeReactive, nil))
+
+	// A chaos-armed repeat run covers chaos-inject and the defensive
+	// paths a clean single pass never reaches: free-list rescues and
+	// releaser skip-ref need the program to loop back over pages it
+	// released (repeat + aggressive), and the injected late/duplicate
+	// hints produce release-not-resident drops.
+	plan, err := chaos.ClassPlan("all", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(coverageRun(t, "matvec", rt.ModeAggressive, func(c *driver.RunConfig) {
+		c.Chaos = &plan
+		c.Repeat = true
+		c.Horizon = 2 * 60 * sim.Second
+	}))
+
+	// Starved queues force the two overflow kinds: a one-slot prefetch
+	// work queue drops hints, and a four-page release queue hits its
+	// cap on every burst.
+	add(coverageRun(t, "fftpde", rt.ModeBuffered, func(c *driver.RunConfig) {
+		c.RT.MaxQueue = 4
+		c.RT.MaxPfQueue = 1
+		c.RT.Workers = 1
+	}))
+
+	for k := events.Kind(0); k < events.KindCount; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("Kind %d has no name in kindNames", k)
+		}
+		if total[k] == 0 {
+			t.Errorf("events.Kind %s (%d) never observed across the run matrix", k, k)
+		}
+	}
+}
