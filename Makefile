@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet simvet lint bench examples experiments verify golden trace chaos fuzz clean
+.PHONY: all build test vet hogvet simvet certify lint bench examples experiments verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -21,20 +21,39 @@ hogvet: build
 		go run ./cmd/hogc -vet -stats=false -bench $$b >/dev/null || exit 1; \
 	done
 
-# Simulator-source invariants: the five SV passes (determinism,
-# map-order, emit pairing, nil-safe recorders, dropped errors) over
-# the whole module. Exits non-zero on any diagnostic.
+# Simulator-source invariants: the six SV passes (determinism,
+# map-order, emit pairing, nil-safe recorders, dropped errors,
+# hot-path allocations) over the whole module. Exits non-zero on any
+# diagnostic.
 simvet: build
 	go run ./cmd/simvet ./...
 
-lint: build vet hogvet simvet
+# hogflow residency certificates: every benchmark's report must match
+# its golden listing, and the listing must not depend on the campaign
+# worker count.
+certify: build
+	@for b in `go run ./cmd/memhog list`; do \
+		echo "memhog certify $$b"; \
+		go run ./cmd/memhog certify $$b > /tmp/memhog-cert-got.txt; \
+		{ echo "==== $$b ===="; cat internal/footprint/testdata/$$b.cert.golden; echo; } \
+			| diff -u - /tmp/memhog-cert-got.txt || exit 1; \
+	done
+	@go run ./cmd/memhog -j 1 certify > /tmp/memhog-cert-j1.txt
+	@go run ./cmd/memhog -j 8 certify > /tmp/memhog-cert-j8.txt
+	@cmp /tmp/memhog-cert-j1.txt /tmp/memhog-cert-j8.txt
+	@echo "certify: six goldens match, worker-count independent"
+
+lint: build vet hogvet simvet certify
 
 test: build vet
 	go test ./...
 
-# Scaled-machine campaign + ablations; minutes.
+# Scaled-machine campaign + ablations; minutes. BenchmarkSimMatrix
+# also writes BENCH_sim.json (events/sec and virtual-seconds per wall
+# second for every benchmark × version) for regression tracking.
 bench:
 	go test -run XXX -bench=. -benchmem ./...
+	@test -f BENCH_sim.json && echo "bench: wrote BENCH_sim.json" || true
 
 examples:
 	go run ./examples/quickstart

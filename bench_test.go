@@ -11,11 +11,15 @@
 package memhogs
 
 import (
+	"encoding/json"
+	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"memhogs/internal/compiler"
 	"memhogs/internal/driver"
+	"memhogs/internal/events"
 	"memhogs/internal/experiments"
 	"memhogs/internal/kernel"
 	"memhogs/internal/rt"
@@ -508,3 +512,78 @@ func BenchmarkInteractiveAlone(b *testing.B) {
 }
 
 func sizeName(n int) string { return strconv.Itoa(n) }
+
+// simCell is one row of BENCH_sim.json: simulator throughput for one
+// benchmark × version on the scaled machine, flight recorder on.
+type simCell struct {
+	Bench          string  `json:"bench"`
+	Version        string  `json:"version"`
+	Events         int64   `json:"events"`
+	VirtualSec     float64 `json:"virtual_sec"`
+	WallSec        float64 `json:"wall_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	VirtualPerWall float64 `json:"virtual_sec_per_wall_sec"`
+}
+
+// BenchmarkSimMatrix measures raw simulator throughput — flight-
+// recorder events emitted per wall second and virtual seconds
+// simulated per wall second — for every benchmark × version, and
+// writes the final measurements to BENCH_sim.json, the artifact `make
+// bench` publishes for tracking simulator-performance regressions.
+func BenchmarkSimMatrix(b *testing.B) {
+	var cells []simCell
+	for _, spec := range workload.AllScaled() {
+		for _, mode := range experiments.Modes {
+			spec, mode := spec, mode
+			b.Run(spec.Name+"/"+mode.String(), func(b *testing.B) {
+				var last simCell
+				for i := 0; i < b.N; i++ {
+					var rec *events.Recorder
+					cfg := driver.TestRunConfig(mode)
+					cfg.RT = rt.DefaultConfig(mode)
+					cfg.OnSystem = func(sys *kernel.System) {
+						rec = events.New(sys.Sim, 1<<16)
+						sys.SetEvents(rec)
+					}
+					start := time.Now()
+					r, err := driver.Run(spec, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wall := time.Since(start).Seconds()
+					var emitted int64
+					counts := rec.Counts()
+					for k := events.Kind(0); k < events.KindCount; k++ {
+						emitted += counts.Get(k)
+					}
+					last = simCell{
+						Bench:      spec.Name,
+						Version:    mode.String(),
+						Events:     emitted,
+						VirtualSec: r.Elapsed.Seconds(),
+						WallSec:    wall,
+					}
+					if wall > 0 {
+						last.EventsPerSec = float64(emitted) / wall
+						last.VirtualPerWall = last.VirtualSec / wall
+					}
+					b.ReportMetric(last.EventsPerSec, "ev/s")
+					b.ReportMetric(last.VirtualPerWall, "vsec/s")
+				}
+				cells = append(cells, last)
+			})
+		}
+	}
+	// A -bench filter that selects only some cells must not publish a
+	// partial artifact.
+	if len(cells) != len(workload.AllScaled())*len(experiments.Modes) {
+		return
+	}
+	data, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sim.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,81 +1,174 @@
-// Command gen-golden regenerates the compiler's golden listings
-// (internal/compiler/testdata) and the verifier's golden diagnostic
-// listings (internal/hogvet/testdata) for the built-in benchmarks.
-// Run it after an intentional change to the analysis or the checks and
-// review the diff.
+// Command gen-golden regenerates every golden-file family from one
+// registry: the compiler's listings, the verifier's diagnostic
+// listings (with benchmark parameters bound, so the residency
+// certification evaluates at paper scale), the tampered dead-hint
+// listing, and the hogflow residency certificates. Run it after an
+// intentional change to the analysis or the checks and review the
+// diff; main_test.go asserts a fresh run leaves the tree clean.
 package main
 
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"memhogs/internal/compiler"
+	"memhogs/internal/footprint"
 	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
 	"memhogs/internal/lang"
 	"memhogs/internal/workload"
 )
 
-func main() {
-	cfg := kernel.DefaultConfig()
-	tgt := compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
-	for _, s := range workload.All() {
-		c := compiler.MustCompile(s.Program(nil), tgt)
-		write("internal/compiler/testdata/"+s.Name+".golden", c.Listing())
-		write("internal/hogvet/testdata/"+s.Name+".golden", hogvet.Vet(c).String())
-	}
-	write("internal/hogvet/testdata/deadhint.golden", deadHintListing(tgt))
+// family is one golden-file family: a name for -only selection and a
+// generator returning path → content for every file the family owns.
+type family struct {
+	name string
+	gen  func(root string, tgt compiler.Target) (map[string]string, error)
 }
 
-// deadHintListing regenerates the HV010 golden: it compiles the
-// deadhint fixture and appends a synthetic release for the
-// never-referenced array b, cloned from a's release so every other
-// check stays quiet. internal/hogvet's deadhint_test.go duplicates
-// this construction; keep the two in sync.
-func deadHintListing(tgt compiler.Target) string {
-	src, err := os.ReadFile("internal/hogvet/testdata/deadhint.hog")
+// families is the registry. Paths are relative to the repository
+// root, where `go run ./cmd/gen-golden` runs.
+func families() []family {
+	return []family{
+		{"compiler", genCompilerListings},
+		{"hogvet", genHogvetListings},
+		{"deadhint", genDeadHint},
+		{"certfixtures", genCertFixtures},
+		{"certificates", genCertificates},
+	}
+}
+
+// target is the shared compile target: the paper's full-size machine.
+func target() compiler.Target {
+	cfg := kernel.DefaultConfig()
+	return compiler.DefaultTarget(cfg.PageSize, cfg.UserMemPages)
+}
+
+// generate runs every family and merges the outputs. Paths in the
+// result are relative to root, which locates fixture inputs.
+func generate(root string, tgt compiler.Target) (map[string]string, error) {
+	out := map[string]string{}
+	for _, f := range families() {
+		files, err := f.gen(root, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.name, err)
+		}
+		for path, content := range files {
+			if _, dup := out[path]; dup {
+				return nil, fmt.Errorf("%s: duplicate golden path %s", f.name, path)
+			}
+			out[path] = content
+		}
+	}
+	return out, nil
+}
+
+func genCompilerListings(_ string, tgt compiler.Target) (map[string]string, error) {
+	out := map[string]string{}
+	for _, s := range workload.All() {
+		c, err := compiler.Compile(s.Program(nil), tgt)
+		if err != nil {
+			return nil, err
+		}
+		out["internal/compiler/testdata/"+s.Name+".golden"] = c.Listing()
+	}
+	return out, nil
+}
+
+func genHogvetListings(_ string, tgt compiler.Target) (map[string]string, error) {
+	out := map[string]string{}
+	for _, s := range workload.All() {
+		c, err := compiler.Compile(s.Program(nil), tgt)
+		if err != nil {
+			return nil, err
+		}
+		out["internal/hogvet/testdata/"+s.Name+".golden"] = hogvet.VetParams(c, s.Params).String()
+	}
+	return out, nil
+}
+
+func genDeadHint(root string, tgt compiler.Target) (map[string]string, error) {
+	src, err := os.ReadFile(filepath.Join(root, "internal/hogvet/testdata/deadhint.hog"))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return nil, err
 	}
 	prog, err := lang.Parse(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return nil, err
 	}
-	c := compiler.MustCompile(prog, tgt)
-	hints := c.Hints()
-	var dead *compiler.Hint
-	maxTag := 0
-	for i := range hints {
-		if hints[i].Tag > maxTag {
-			maxTag = hints[i].Tag
-		}
-		if hints[i].Kind == compiler.HintRelease {
-			dead = &hints[i]
-		}
+	c, err := compiler.Compile(prog, tgt)
+	if err != nil {
+		return nil, err
 	}
-	var b *lang.Array
-	for _, a := range c.Prog.Arrays {
-		if a.Name == "b" {
-			b = a
-		}
+	hints, err := hogvet.TamperDeadHint(c, "b")
+	if err != nil {
+		return nil, err
 	}
-	if dead == nil || b == nil {
-		fmt.Fprintln(os.Stderr, "deadhint fixture lost its release hint or array b")
-		os.Exit(1)
-	}
-	synth := *dead
-	synth.Array = b
-	synth.Tag = maxTag + 1
-	ds := hogvet.VetSchedule(c.Prog, c.Target, append(hints, synth), hogvet.DefaultOptions())
-	return ds.String()
+	ds := hogvet.VetSchedule(c.Prog, c.Target, hints, hogvet.DefaultOptions())
+	return map[string]string{"internal/hogvet/testdata/deadhint.golden": ds.String()}, nil
 }
 
-func write(path, content string) {
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+// genCertFixtures regenerates the residency-certification fixture
+// goldens: hand-written programs pinning HV011 (overflow), HV012
+// (deadwindow), and HV013 (uncert), one diagnostic listing each.
+func genCertFixtures(root string, tgt compiler.Target) (map[string]string, error) {
+	out := map[string]string{}
+	for _, name := range []string{"overflow", "deadwindow", "uncert"} {
+		src, err := os.ReadFile(filepath.Join(root, "internal/hogvet/testdata/"+name+".hog"))
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		c, err := compiler.Compile(prog, tgt)
+		if err != nil {
+			return nil, err
+		}
+		out["internal/hogvet/testdata/"+name+".golden"] = hogvet.VetParams(c, nil).String()
+	}
+	return out, nil
+}
+
+func genCertificates(_ string, tgt compiler.Target) (map[string]string, error) {
+	full := tgt
+	full.Prefetch = true
+	full.Release = true
+	out := map[string]string{}
+	for _, s := range workload.All() {
+		prog := s.Program(nil)
+		c, err := compiler.Compile(prog, full)
+		if err != nil {
+			return nil, err
+		}
+		certs := map[footprint.Version]*footprint.Certificate{}
+		for _, v := range footprint.Versions() {
+			certs[v] = footprint.Certify(prog, full, c.Hints(), v, footprint.Opts{Params: s.Params})
+		}
+		out["internal/footprint/testdata/"+s.Name+".cert.golden"] = footprint.Report(certs)
+	}
+	return out, nil
+}
+
+func main() {
+	files, err := generate(".", target())
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println("wrote", path)
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := os.WriteFile(p, []byte(files[p]), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", p)
+	}
 }

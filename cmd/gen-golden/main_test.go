@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTreeClean asserts a fresh gen-golden run reproduces every golden
+// file byte-for-byte: the checked-in goldens are exactly what the
+// registry generates, so regeneration never leaves a dirty tree.
+func TestTreeClean(t *testing.T) {
+	root := repoRoot(t)
+	files, err := generate(root, target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("registry generated no goldens")
+	}
+	for path, want := range files {
+		got, err := os.ReadFile(filepath.Join(root, path))
+		if err != nil {
+			t.Errorf("%s: missing on disk (run `go run ./cmd/gen-golden`): %v", path, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s: differs from a fresh generation; run `go run ./cmd/gen-golden`", path)
+		}
+	}
+}
+
+// repoRoot walks up from the test's working directory (cmd/gen-golden)
+// to the directory containing go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestDeterministic demands two fresh generations be byte-identical —
+// the same property `memhog certify` needs across worker counts.
+func TestDeterministic(t *testing.T) {
+	root := repoRoot(t)
+	a, err := generate(root, target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate(root, target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("generation produced %d then %d files", len(a), len(b))
+	}
+	for p, c := range a {
+		if b[p] != c {
+			t.Errorf("%s: not deterministic", p)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	memhog run <benchmark>      # one benchmark, all four versions
 //	memhog listing <benchmark>  # transformed code with inserted hints
 //	memhog vet [benchmark...]   # static hint-safety diagnostics (default: all)
+//	memhog certify [benchmark...] # hogflow residency certificates (default: all)
 //	memhog timeline <benchmark> [O|P|R|B]  # memory dynamics over time
 //	memhog trace <benchmark> [O|P|R|B]     # event-level flight recorder
 //	memhog chaos <benchmark> [O|P|R|B] [-seed N] [-faults ...]
@@ -66,6 +67,7 @@ var commands = []command{
 	{"run", "<bench>", "one benchmark in all four versions", (*app).cmdRun},
 	{"listing", "<bench>", "transformed code with inserted hints", (*app).cmdListing},
 	{"vet", "[bench...]", "static hint-safety diagnostics, exit 1 on errors", (*app).cmdVet},
+	{"certify", "[bench...]", "hogflow residency certificates (default: all)", (*app).cmdCertify},
 	{"timeline", "<bench> [O|P|R|B]", "memory dynamics over time", (*app).cmdTimeline},
 	{"trace", "<bench> [O|P|R|B]", "flight recorder: Chrome trace JSON on stdout (-log for the merged event log)", (*app).cmdTrace},
 	{"chaos", "<bench> [O|P|R|B] [-seed N] [-faults class|plan]", "deterministic fault injection with continuous invariant auditing", (*app).cmdChaos},
@@ -170,6 +172,20 @@ func (a *app) cmdVet() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+func (a *app) cmdCertify() {
+	names := flag.Args()[1:]
+	if len(names) == 0 {
+		names = memhogs.BenchmarkNames()
+	}
+	for _, name := range names {
+		out, err := memhogs.CertifyBenchmark(name, a.machine)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, out)
 	}
 }
 

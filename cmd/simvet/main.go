@@ -1,5 +1,5 @@
 // Command simvet runs the repository's static-analysis suite
-// (internal/analysis): five passes that prove the simulator's
+// (internal/analysis): six passes that prove the simulator's
 // determinism and instrumentation invariants at compile time.
 //
 //	SV001 nodeterm — no wall-clock/global-rand/env in the simulated stack
@@ -7,6 +7,7 @@
 //	SV003 emitpair — chaos sites co-located with events; registries never drift
 //	SV004 nilrecv  — //simvet:nilsafe types tolerate nil receivers
 //	SV005 errdrop  — no silently dropped errors chaos can trigger
+//	SV006 hotalloc — no heap allocation or boxing in //simvet:hot paths
 //
 // Two modes:
 //
@@ -27,6 +28,7 @@ import (
 	"memhogs/internal/analysis"
 	"memhogs/internal/analysis/emitpair"
 	"memhogs/internal/analysis/errdrop"
+	"memhogs/internal/analysis/hotalloc"
 	"memhogs/internal/analysis/maporder"
 	"memhogs/internal/analysis/nilrecv"
 	"memhogs/internal/analysis/nodeterm"
@@ -39,6 +41,7 @@ var suite = []*analysis.Analyzer{
 	emitpair.Analyzer,
 	nilrecv.Analyzer,
 	errdrop.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"memhogs/internal/analysis"
+	"memhogs/internal/analysis/emitpair"
+)
+
+// TestVetxRoundTrip drives the unitchecker fact protocol end to end:
+// every registered fact type must survive gob encode → decode through
+// a .vetx file with its payload intact, exactly as facts cross
+// compilation-unit boundaries under `go vet -vettool`.
+func TestVetxRoundTrip(t *testing.T) {
+	registerFactTypes()
+
+	in := analysis.NewFactStore()
+	in.Set("memhogs/internal/kernel", &emitpair.EmittedKinds{Kinds: []string{"DaemonClear", "DaemonSteal"}})
+	in.Set("memhogs/internal/kernel", &emitpair.FiredSites{Sites: []string{"SiteDiskRead"}})
+	in.Set("memhogs/internal/events", &emitpair.DeclaredKinds{
+		Kinds: []emitpair.KindDecl{{Name: "DaemonClear", Pos: "events.go:10"}},
+	})
+	in.Set("memhogs/internal/chaos", &emitpair.DeclaredSites{
+		Sites: []emitpair.KindDecl{{Name: "SiteDiskRead", Pos: "chaos.go:20"}},
+	})
+
+	vetx := filepath.Join(t.TempDir(), "unit.vetx")
+	writeVetx(vetx, in)
+
+	out := analysis.NewFactStore()
+	loadVetx(vetx, out)
+
+	got, want := out.All(), in.All()
+	if len(got) != len(want) {
+		t.Fatalf("round trip kept %d facts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Path != want[i].Path || !reflect.DeepEqual(got[i].Fact, want[i].Fact) {
+			t.Errorf("fact %d: got (%s, %#v), want (%s, %#v)",
+				i, got[i].Path, got[i].Fact, want[i].Path, want[i].Fact)
+		}
+	}
+}
+
+// TestVetxDeterministicBytes pins that the same fact store always
+// serializes to identical bytes: .vetx files double as vet cache
+// inputs, so nondeterministic encoding would defeat caching.
+func TestVetxDeterministicBytes(t *testing.T) {
+	registerFactTypes()
+	dir := t.TempDir()
+
+	write := func(name string) []byte {
+		s := analysis.NewFactStore()
+		// Insert in shuffled order; FactStore.All sorts.
+		s.Set("memhogs/internal/events", &emitpair.DeclaredKinds{Kinds: []emitpair.KindDecl{{Name: "K", Pos: "p"}}})
+		s.Set("memhogs/internal/chaos", &emitpair.DeclaredSites{Sites: []emitpair.KindDecl{{Name: "S", Pos: "q"}}})
+		s.Set("memhogs/internal/chaos", &emitpair.FiredSites{Sites: []string{"S"}})
+		path := filepath.Join(dir, name)
+		writeVetx(path, s)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := write("a.vetx"), write("b.vetx"); !bytes.Equal(a, b) {
+		t.Fatal("identical fact stores produced different .vetx bytes")
+	}
+}
+
+// TestVetxEmptyAndMissing pins the tolerant paths: a unit with no
+// dependencies' facts loads nothing from a missing file, and an empty
+// store round-trips to an empty store.
+func TestVetxEmptyAndMissing(t *testing.T) {
+	registerFactTypes()
+	s := analysis.NewFactStore()
+	loadVetx(filepath.Join(t.TempDir(), "absent.vetx"), s)
+	if n := len(s.All()); n != 0 {
+		t.Fatalf("missing vetx contributed %d facts", n)
+	}
+
+	path := filepath.Join(t.TempDir(), "empty.vetx")
+	writeVetx(path, analysis.NewFactStore())
+	out := analysis.NewFactStore()
+	loadVetx(path, out)
+	if n := len(out.All()); n != 0 {
+		t.Fatalf("empty store round-tripped to %d facts", n)
+	}
+}
+
+// TestVetxCorruptIgnored pins that a truncated or garbage .vetx is
+// skipped (contributing no facts) instead of failing the unit — the
+// same recovery the vet cache relies on.
+func TestVetxCorruptIgnored(t *testing.T) {
+	registerFactTypes()
+	path := filepath.Join(t.TempDir(), "corrupt.vetx")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := analysis.NewFactStore()
+	loadVetx(path, s)
+	if n := len(s.All()); n != 0 {
+		t.Fatalf("corrupt vetx contributed %d facts", n)
+	}
+}
+
+// TestFactTypesRegistered demands that every fact type any suite
+// analyzer declares actually crosses the gob boundary: a fact type
+// missing from registerFactTypes would silently fail to encode and
+// break cross-unit checks only in vet-tool mode.
+func TestFactTypesRegistered(t *testing.T) {
+	registerFactTypes()
+	for _, a := range suite {
+		for _, f := range a.FactTypes {
+			inst := reflect.New(reflect.TypeOf(f).Elem()).Interface().(analysis.Fact)
+			s := analysis.NewFactStore()
+			s.Set("p", inst)
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(savedFacts{Facts: s.All()}); err != nil {
+				t.Errorf("%s: fact %T does not gob-encode: %v", a.Name, f, err)
+			}
+		}
+	}
+}

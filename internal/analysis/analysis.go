@@ -14,9 +14,10 @@
 // simulated stack, no map-iteration order leaking into rendered
 // output, every chaos injection site co-located with its flight-
 // recorder event, nil-tolerant fast paths on the instrumentation
-// types, no silently dropped errors from the storage layers. The
-// analyzers in the sibling packages (nodeterm, maporder, emitpair,
-// nilrecv, errdrop) prove those rules once, statically, in CI.
+// types, no silently dropped errors from the storage layers, no heap
+// allocation on the per-event hot paths. The analyzers in the sibling
+// packages (nodeterm, maporder, emitpair, nilrecv, errdrop, hotalloc)
+// prove those rules once, statically, in CI.
 //
 // Why not import golang.org/x/tools directly? The module is kept
 // dependency-free on purpose (the simulator itself uses nothing but
@@ -37,7 +38,7 @@ import (
 )
 
 // Analyzer describes one static-analysis pass. Each simvet pass owns
-// exactly one diagnostic code (SV001..SV005).
+// exactly one diagnostic code (SV001..SV006).
 type Analyzer struct {
 	// Name is the short pass name, e.g. "nodeterm".
 	Name string

@@ -151,6 +151,8 @@ func New(s *sim.Sim, capacity int) *Recorder {
 }
 
 // Emit records one event. Safe (and free) on a nil Recorder.
+//
+//simvet:hot
 func (r *Recorder) Emit(k Kind, actor, target string, page int, a, b int64) {
 	if r == nil {
 		return
@@ -158,6 +160,7 @@ func (r *Recorder) Emit(k Kind, actor, target string, page int, a, b int64) {
 	r.counts[k]++
 	e := Event{At: r.sim.Now(), Kind: k, Actor: actor, Target: target, Page: page, A: a, B: b}
 	if len(r.buf) < cap(r.buf) {
+		//simvet:allow SV006 append stays within the capacity New preallocated
 		r.buf = append(r.buf, e)
 		r.n++
 		return

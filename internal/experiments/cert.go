@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/driver"
+	"memhogs/internal/events"
+	"memhogs/internal/footprint"
+	"memhogs/internal/kernel"
+	"memhogs/internal/metrics"
+	"memhogs/internal/rt"
+)
+
+// certTightFrac is the declared tightness slack for the residency
+// certificates: on the affine benchmarks, in the versions where the
+// certificate claims the process fills its allotment (O and P, which
+// never release), the observed peak must come within 15% of the
+// certified bound. The releasing versions' certificates are sound
+// upper bounds with deliberate pipeline slack, so tightness is not
+// declared for them.
+const certTightFrac = 0.85
+
+// affineBenches are the benchmarks whose certificates carry no ⊤
+// windows at paper scale: every reference is affine with
+// compile-time-known strides, so the bound is exact analysis, not a
+// whole-array fallback.
+var affineBenches = map[string]bool{"matvec": true, "embar": true}
+
+// CertCell is one benchmark × version of the static-vs-dynamic
+// residency comparison.
+type CertCell struct {
+	Bench   string
+	Version footprint.Version
+
+	BoundPages     int64 // interpreted bound (-1 unresolved)
+	CertifiedPages int64 // clamped certificate the soundness check uses
+	Clamped        bool
+	ObservedPeak   int64 // flight-recorded run's peak resident pages
+
+	Sound         bool // observed ≤ certified
+	TightDeclared bool // this cell is under the 15% tightness contract
+	Tight         bool // observed ≥ certTightFrac · certified
+}
+
+// CertCrossValidation is the dataset behind the residency-certificate
+// validation: every benchmark × version's certificate next to the
+// peak resident set of an instrumented run.
+type CertCrossValidation struct {
+	Opts Opts
+	Rows []CertCell // spec-major, version-minor, in paper order
+}
+
+// modeVersion maps a run-time mode to its certificate interpretation.
+func modeVersion(m rt.Mode) footprint.Version {
+	switch m {
+	case rt.ModeOriginal:
+		return footprint.VersionO
+	case rt.ModePrefetch:
+		return footprint.VersionP
+	case rt.ModeAggressive:
+		return footprint.VersionR
+	default:
+		return footprint.VersionB
+	}
+}
+
+// RunCertCrossValidation certifies every benchmark × version
+// statically and runs each cell once with the flight recorder
+// installed, comparing the certificate against the dynamically
+// observed peak resident set. One job per cell runs on the campaign
+// worker pool; rows are assembled afterwards in spec-major order, so
+// the result is identical at any worker count.
+func RunCertCrossValidation(o Opts) (*CertCrossValidation, error) {
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	kcfg := o.kernelConfig()
+	sink := newProgressSink(o.Progress)
+	cache := driver.NewCompileCache()
+	slots := make([]CertCell, len(specs)*len(Modes))
+	var jobs []job
+	for i, spec := range specs {
+		for k, mode := range Modes {
+			i, k, spec, mode := i, k, spec, mode
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("certify %s/%s", spec.Name, modeVersion(mode)),
+				run: func() error {
+					// The certificate interprets the same compilation the
+					// run executes: one cached compile per (spec, mode
+					// flags) pair.
+					tgt := compiler.DefaultTarget(kcfg.PageSize, kcfg.UserMemPages)
+					tgt.Prefetch = mode.UsesPrefetch()
+					tgt.Release = mode.UsesRelease()
+					comp, err := cache.Compile(spec, nil, tgt)
+					if err != nil {
+						return fmt.Errorf("compile %s: %w", spec.Name, err)
+					}
+					ver := modeVersion(mode)
+					cert := footprint.Certify(comp.Prog, tgt, comp.Hints(), ver,
+						footprint.Opts{Params: spec.Params})
+
+					cfg := driver.RunConfig{
+						Kernel:           kcfg,
+						Mode:             mode,
+						RT:               rt.DefaultConfig(mode),
+						Horizon:          o.completionHorizon(),
+						InteractiveSleep: -1,
+						Cache:            cache,
+						OnSystem: func(sys *kernel.System) {
+							sys.SetEvents(events.New(sys.Sim, 1<<16))
+						},
+					}
+					r, err := driver.Run(spec, cfg)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", spec.Name, ver, err)
+					}
+
+					cell := CertCell{
+						Bench:          spec.Name,
+						Version:        ver,
+						BoundPages:     cert.BoundPages,
+						CertifiedPages: cert.CertifiedPages,
+						Clamped:        cert.Clamped,
+						ObservedPeak:   r.VM.PeakResident,
+					}
+					cell.Sound = cell.ObservedPeak <= cell.CertifiedPages
+					cell.TightDeclared = affineBenches[spec.Name] && !ver.UsesRelease()
+					cell.Tight = float64(cell.ObservedPeak) >= certTightFrac*float64(cell.CertifiedPages)
+					slots[i*len(Modes)+k] = cell
+					sink.printf("certify %s/%s: certified %d, observed %d\n",
+						spec.Name, ver, cell.CertifiedPages, cell.ObservedPeak)
+					return nil
+				},
+			})
+		}
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
+	}
+	return &CertCrossValidation{Opts: o, Rows: slots}, nil
+}
+
+// Validate returns the first violated contract: every cell must be
+// sound (observed peak at or below the certificate), and the declared
+// cells must be tight within the 15% slack.
+func (cv *CertCrossValidation) Validate() error {
+	for _, c := range cv.Rows {
+		if !c.Sound {
+			return fmt.Errorf("%s/%s: observed peak %d pages exceeds certified %d",
+				c.Bench, c.Version, c.ObservedPeak, c.CertifiedPages)
+		}
+		if c.TightDeclared && !c.Tight {
+			return fmt.Errorf("%s/%s: certificate %d pages is not tight: observed peak %d below %d%% slack",
+				c.Bench, c.Version, c.CertifiedPages, c.ObservedPeak, int(100*(1-certTightFrac)))
+		}
+	}
+	return nil
+}
+
+// FormatCertCrossValidation renders the static-vs-dynamic residency
+// table: one row per benchmark × version.
+func FormatCertCrossValidation(cv *CertCrossValidation) *metrics.Table {
+	t := metrics.NewTable("hogflow cross-validation: certified vs observed peak resident pages",
+		"benchmark", "version", "bound", "certified", "observed", "sound", "tight")
+	for _, c := range cv.Rows {
+		bound := fmt.Sprintf("%d", c.BoundPages)
+		if c.BoundPages < 0 {
+			bound = "?"
+		}
+		if c.Clamped {
+			bound += " (clamped)"
+		}
+		sound := "yes"
+		if !c.Sound {
+			sound = "NO"
+		}
+		tight := "-"
+		if c.TightDeclared {
+			tight = "yes"
+			if !c.Tight {
+				tight = "NO"
+			}
+		}
+		t.AddRow(c.Bench, c.Version.String(), bound, c.CertifiedPages, c.ObservedPeak, sound, tight)
+	}
+	t.AddNote("Sound: the flight-recorded peak resident set never exceeds the certificate.")
+	t.AddNote(fmt.Sprintf("Tight (affine benchmarks, non-releasing versions): observed within %d%% of certified.",
+		int(100*(1-certTightFrac))))
+	return t
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memhogs/internal/footprint"
+)
+
+// TestCertCrossValidation is the hogflow acceptance check: every
+// benchmark × version's flight-recorded peak resident set must stay
+// at or below the static residency certificate, and on the affine
+// benchmarks the non-releasing certificates must be tight.
+func TestCertCrossValidation(t *testing.T) {
+	cv, err := RunCertCrossValidation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := 6 * len(Modes); len(cv.Rows) != want {
+		t.Fatalf("got %d cells, want %d", len(cv.Rows), want)
+	}
+	if err := cv.Validate(); err != nil {
+		t.Errorf("certificate contract violated: %v\n%s", err, FormatCertCrossValidation(cv))
+	}
+	for _, c := range cv.Rows {
+		if c.ObservedPeak <= 0 {
+			t.Errorf("%s/%s: flight recorder observed no resident pages", c.Bench, c.Version)
+		}
+		if c.CertifiedPages <= 0 {
+			t.Errorf("%s/%s: empty certificate", c.Bench, c.Version)
+		}
+	}
+
+	// The releasing versions must certify strictly below the clamp on
+	// the benchmarks whose schedules stream (the point of the paper).
+	byCell := map[string]CertCell{}
+	for _, c := range cv.Rows {
+		byCell[c.Bench+"/"+c.Version.String()] = c
+	}
+	for _, bench := range []string{"matvec", "embar"} {
+		b := byCell[bench+"/B"]
+		o := byCell[bench+"/O"]
+		if b.Clamped || b.CertifiedPages >= o.CertifiedPages {
+			t.Errorf("%s: B certificate %d (clamped=%v) should beat O's %d",
+				bench, b.CertifiedPages, b.Clamped, o.CertifiedPages)
+		}
+	}
+
+	out := FormatCertCrossValidation(cv).String()
+	if !strings.Contains(out, "certified") || !strings.Contains(out, "observed") {
+		t.Errorf("table missing expected columns:\n%s", out)
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("table shows violated cells:\n%s", out)
+	}
+}
+
+// TestModeVersion pins the mode → certificate-version mapping.
+func TestModeVersion(t *testing.T) {
+	want := []footprint.Version{footprint.VersionO, footprint.VersionP, footprint.VersionR, footprint.VersionB}
+	for i, m := range Modes {
+		if got := modeVersion(m); got != want[i] {
+			t.Errorf("modeVersion(%v) = %v, want %v", m, got, want[i])
+		}
+	}
+}

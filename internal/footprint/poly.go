@@ -1,0 +1,263 @@
+package footprint
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"memhogs/internal/lang"
+)
+
+// Poly is a multivariate polynomial with rational coefficients over
+// symbolic parameters — the value domain of the abstract interpreter.
+// Resident-set bounds are polynomials in array extents and loop trip
+// counts (e.g. "N/2048 + 3"); they are built symbolically so the
+// certificate can be rendered as a function of problem size, and
+// evaluated exactly (with a final ceiling) once the runtime bindings
+// are known.
+//
+// Rational coefficients over-approximate the language's truncating
+// integer division: for non-negative operands, a/b ≤ ⌈a/b⌉, so every
+// Poly built from a Scalar or trip count is an upper bound on the
+// integer value it models. That is the direction a residency
+// certificate needs.
+type Poly struct {
+	monos []mono
+}
+
+// mono is one monomial: coefficient num/den times the product of
+// vars (sorted; a repeated name is a higher power).
+type mono struct {
+	num, den int64 // den > 0
+	vars     []string
+}
+
+func (m mono) key() string { return strings.Join(m.vars, "*") }
+
+// degree orders monomials for rendering: higher total degree first,
+// then lexicographic variable key.
+func (m mono) degree() int { return len(m.vars) }
+
+// ConstPoly returns the polynomial v.
+func ConstPoly(v int64) Poly {
+	if v == 0 {
+		return Poly{}
+	}
+	return Poly{monos: []mono{{num: v, den: 1}}}
+}
+
+// VarPoly returns the polynomial 1·name.
+func VarPoly(name string) Poly {
+	return Poly{monos: []mono{{num: 1, den: 1, vars: []string{name}}}}
+}
+
+// IsZero reports whether the polynomial has no terms.
+func (p Poly) IsZero() bool { return len(p.monos) == 0 }
+
+// IsConst reports whether the polynomial has no symbolic terms and
+// returns its (ceiled) constant value.
+func (p Poly) IsConst() (int64, bool) {
+	switch len(p.monos) {
+	case 0:
+		return 0, true
+	case 1:
+		if len(p.monos[0].vars) == 0 {
+			return ceilDiv(p.monos[0].num, p.monos[0].den), true
+		}
+	}
+	return 0, false
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// normalize merges monomials with equal variable keys, reduces
+// fractions, and drops zeros, producing the canonical sorted form.
+func normalize(ms []mono) Poly {
+	byKey := map[string]*mono{}
+	var keys []string
+	for _, m := range ms {
+		sort.Strings(m.vars)
+		k := m.key()
+		if acc, ok := byKey[k]; ok {
+			// acc.num/acc.den + m.num/m.den
+			num := acc.num*m.den + m.num*acc.den
+			den := acc.den * m.den
+			acc.num, acc.den = num, den
+		} else {
+			cp := m
+			cp.vars = append([]string(nil), m.vars...)
+			byKey[k] = &cp
+			keys = append(keys, k)
+		}
+	}
+	var out []mono
+	for _, k := range keys {
+		m := byKey[k]
+		if m.num == 0 {
+			continue
+		}
+		g := gcd(m.num, m.den)
+		m.num /= g
+		m.den /= g
+		if m.den < 0 {
+			m.num, m.den = -m.num, -m.den
+		}
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].degree() != out[j].degree() {
+			return out[i].degree() > out[j].degree()
+		}
+		return out[i].key() < out[j].key()
+	})
+	return Poly{monos: out}
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	return normalize(append(append([]mono(nil), p.monos...), q.monos...))
+}
+
+// AddConst returns p + v.
+func (p Poly) AddConst(v int64) Poly { return p.Add(ConstPoly(v)) }
+
+// Sub returns p − q.
+func (p Poly) Sub(q Poly) Poly { return p.Add(q.Scale(-1, 1)) }
+
+// Scale returns p · num/den.
+func (p Poly) Scale(num, den int64) Poly {
+	if den == 0 {
+		den = 1
+	}
+	var out []mono
+	for _, m := range p.monos {
+		out = append(out, mono{num: m.num * num, den: m.den * den, vars: m.vars})
+	}
+	return normalize(out)
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	var out []mono
+	for _, a := range p.monos {
+		for _, b := range q.monos {
+			out = append(out, mono{
+				num:  a.num * b.num,
+				den:  a.den * b.den,
+				vars: append(append([]string(nil), a.vars...), b.vars...),
+			})
+		}
+	}
+	return normalize(out)
+}
+
+func ceilDiv(num, den int64) int64 {
+	if den == 0 {
+		return num
+	}
+	q := num / den
+	if num%den != 0 && (num > 0) == (den > 0) {
+		q++
+	}
+	return q
+}
+
+// Eval computes the polynomial's value under env exactly (big.Rat
+// arithmetic), rounding the final result up — the sound direction for
+// an upper bound. It fails if any variable is unbound.
+func (p Poly) Eval(env lang.Env) (int64, error) {
+	total := new(big.Rat)
+	for _, m := range p.monos {
+		t := new(big.Rat).SetFrac64(m.num, m.den)
+		for _, v := range m.vars {
+			x, ok := env[v]
+			if !ok {
+				return 0, fmt.Errorf("footprint: unbound symbol %q", v)
+			}
+			t.Mul(t, new(big.Rat).SetInt64(x))
+		}
+		total.Add(total, t)
+	}
+	num, den := total.Num(), total.Denom()
+	q := new(big.Int).Div(num, den) // floor for any sign
+	r := new(big.Int).Mod(num, den)
+	v := q.Int64()
+	if r.Sign() != 0 {
+		v++
+	}
+	return v, nil
+}
+
+// String renders the polynomial canonically, e.g. "N*M/2048 + 3" or
+// "0" when empty.
+func (p Poly) String() string {
+	if len(p.monos) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, m := range p.monos {
+		num := m.num
+		if i == 0 {
+			if num < 0 {
+				b.WriteString("-")
+				num = -num
+			}
+		} else {
+			if num < 0 {
+				b.WriteString(" - ")
+				num = -num
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		switch {
+		case len(m.vars) == 0:
+			fmt.Fprintf(&b, "%d", num)
+			if m.den != 1 {
+				fmt.Fprintf(&b, "/%d", m.den)
+			}
+		default:
+			if num != 1 {
+				fmt.Fprintf(&b, "%d*", num)
+			}
+			b.WriteString(strings.Join(m.vars, "*"))
+			if m.den != 1 {
+				fmt.Fprintf(&b, "/%d", m.den)
+			}
+		}
+	}
+	return b.String()
+}
+
+// scalarPoly converts a lang.Scalar into a Poly, substituting bound
+// formals (bind maps a formal name to the Poly of its actual
+// argument). Unbound names become free symbols.
+func scalarPoly(s lang.Scalar, bind map[string]Poly) Poly {
+	if s.Name == "" {
+		return ConstPoly(s.Offset)
+	}
+	base, ok := bind[s.Name]
+	if !ok {
+		base = VarPoly(s.Name)
+	}
+	div := s.Div
+	if div <= 0 {
+		div = 1
+	}
+	return base.Scale(s.Scale, div).AddConst(s.Offset)
+}

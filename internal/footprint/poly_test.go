@@ -1,0 +1,90 @@
+package footprint
+
+import (
+	"testing"
+
+	"memhogs/internal/lang"
+)
+
+func TestPolyArithmetic(t *testing.T) {
+	n := VarPoly("N")
+	m := VarPoly("M")
+	env := lang.Env{"N": 6, "M": 4}
+
+	cases := []struct {
+		name string
+		p    Poly
+		str  string
+		want int64
+	}{
+		{"const", ConstPoly(7), "7", 7},
+		{"var", n, "N", 6},
+		{"sum", n.Add(m).AddConst(3), "M + N + 3", 13},
+		{"sub", n.Sub(m), "-M + N", 2},
+		{"product", n.Mul(m), "M*N", 24},
+		{"square", n.Mul(n), "N*N", 36},
+		{"scale", n.Scale(3, 2), "3*N/2", 9},
+		{"cancel", n.Sub(n), "0", 0},
+		{"merge", n.Add(n), "2*N", 12},
+		{"mixed", n.Mul(m).Scale(1, 8).AddConst(-1), "M*N/8 - 1", 2},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.str {
+			t.Errorf("%s: String() = %q, want %q", c.name, got, c.str)
+		}
+		v, err := c.p.Eval(env)
+		if err != nil {
+			t.Errorf("%s: Eval: %v", c.name, err)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("%s: Eval = %d, want %d", c.name, v, c.want)
+		}
+	}
+}
+
+// TestPolyEvalCeils pins the sound rounding direction: fractional
+// values round up, and truncating-division over-approximation never
+// undercounts.
+func TestPolyEvalCeils(t *testing.T) {
+	p := VarPoly("N").Scale(1, 3) // N/3
+	v, err := p.Eval(lang.Env{"N": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 { // ceil(7/3)
+		t.Fatalf("Eval(7/3) = %d, want 3", v)
+	}
+}
+
+func TestPolyEvalUnbound(t *testing.T) {
+	if _, err := VarPoly("N").Eval(lang.Env{}); err == nil {
+		t.Fatal("want error for unbound symbol")
+	}
+}
+
+func TestScalarPolySubstitutesFormals(t *testing.T) {
+	// Scalar (2*n)/4 + 1 with formal n bound to the actual NF-2.
+	s := lang.Scalar{Name: "n", Scale: 2, Div: 4, Offset: 1}
+	bind := map[string]Poly{"n": VarPoly("NF").AddConst(-2)}
+	p := scalarPoly(s, bind)
+	if got := p.String(); got != "NF/2" {
+		t.Fatalf("scalarPoly = %q, want %q", got, "NF/2")
+	}
+	v, err := p.Eval(lang.Env{"NF": 190})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 95 {
+		t.Fatalf("Eval = %d, want 95", v)
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	if v, ok := ConstPoly(5).Add(ConstPoly(2)).IsConst(); !ok || v != 7 {
+		t.Fatalf("IsConst = (%d, %v), want (7, true)", v, ok)
+	}
+	if _, ok := VarPoly("N").IsConst(); ok {
+		t.Fatal("VarPoly should not be const")
+	}
+}

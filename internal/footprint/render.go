@@ -1,0 +1,105 @@
+package footprint
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/metrics"
+)
+
+// pagesStr renders a page count, with "?" for unresolved bounds.
+func pagesStr(p int64) string {
+	if p < 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%d", p)
+}
+
+// String renders the certificate as a deterministic plain-text
+// listing: header, one table per nest occurrence, the peak line, and
+// the uncertified-nest / dead-window findings. The output depends
+// only on the certificate's contents, so it is byte-identical across
+// worker counts and runs.
+func (c *Certificate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "residency certificate: %s version %s\n", c.Program, c.Version)
+	fmt.Fprintf(&b, "target: %d pages x %d B", c.Target.MemoryPages, c.Target.PageSize)
+	if env := envString(c.Env); env != "" {
+		fmt.Fprintf(&b, "; %s", env)
+	}
+	b.WriteString("\n\n")
+
+	for _, s := range c.Sites {
+		t := metrics.NewTable(fmt.Sprintf("nest %s (peak %s pages)", s.Label, pagesStr(s.TotalPages)),
+			"array", "footprint (pages)", "eval", "window", "policy", "note")
+		for _, w := range s.Windows {
+			t.AddRow(w.Array, w.Footprint.String(), pagesStr(w.FootprintPages),
+				pagesStr(w.WindowPages), w.Policy.String(), w.Note)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+
+	switch {
+	case c.BoundPages < 0:
+		fmt.Fprintf(&b, "interpreted bound: unresolved; certified peak clamped at the %d-page allotment\n",
+			c.CertifiedPages)
+	case c.Clamped:
+		fmt.Fprintf(&b, "interpreted bound: %d pages @ %s; certified peak clamped at the %d-page allotment\n",
+			c.BoundPages, c.PeakSite, c.CertifiedPages)
+	default:
+		fmt.Fprintf(&b, "certified peak: %d pages @ %s (allotment %d)\n",
+			c.CertifiedPages, c.PeakSite, c.Target.MemoryPages)
+	}
+
+	for _, u := range c.Uncertified {
+		fmt.Fprintf(&b, "uncertified nest %s:%d:\n", u.Proc, u.Line)
+		for _, r := range u.Reasons {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+	}
+	for _, d := range c.DeadWindows {
+		fmt.Fprintf(&b, "dead window: %s retained by priority-%d release (tag %d) at %s:%d with %d nests still to run\n",
+			d.Array, d.Priority, d.Tag, d.Proc, d.Line, d.NestsAfter)
+	}
+	return b.String()
+}
+
+// Report renders the four-version certificate summary used by
+// `memhog certify`: the shared header, the per-nest breakdown of the
+// buffered (B) interpretation — the version the paper's schedule is
+// designed for — and a summary table across O/P/R/B.
+func Report(certs map[Version]*Certificate) string {
+	b := certs[VersionB]
+	if b == nil {
+		for _, v := range Versions() {
+			if certs[v] != nil {
+				b = certs[v]
+				break
+			}
+		}
+	}
+	if b == nil {
+		return ""
+	}
+	var out strings.Builder
+	out.WriteString(b.String())
+	out.WriteString("\n")
+
+	t := metrics.NewTable("certified peak by version",
+		"version", "bound (pages)", "certified", "clamped", "peak nest")
+	for _, v := range Versions() {
+		c := certs[v]
+		if c == nil {
+			continue
+		}
+		clamped := "no"
+		if c.Clamped {
+			clamped = "yes"
+		}
+		t.AddRow(v.String(), pagesStr(c.BoundPages), pagesStr(c.CertifiedPages), clamped, c.PeakSite)
+	}
+	t.AddNote("allotment: %d pages; a clamped bound is sound but not tight.", b.Target.MemoryPages)
+	out.WriteString(t.String())
+	return out.String()
+}

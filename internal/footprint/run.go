@@ -1,0 +1,217 @@
+package footprint
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/lang"
+)
+
+// run drives the abstract interpretation: expand the nest sequence,
+// analyze each site, then iterate the sequence twice — the second
+// pass is the fixpoint for driver-loop repetition, since carried-over
+// residency saturates after one full round (every carry update is
+// monotone and clamped at the whole array).
+func (in *interp) run() *Certificate {
+	cert := &Certificate{
+		Program: in.prog.Name,
+		Version: in.ver,
+		Target:  in.tgt,
+		Env:     in.env,
+	}
+
+	sites := in.sites()
+	states := make([][]*arrayState, len(sites))
+	for i, s := range sites {
+		states[i] = in.analyzeSite(s)
+		for _, st := range states[i] {
+			if st.paramGap {
+				cert.ParamGaps = true
+			}
+		}
+	}
+
+	// Record the per-site certificates (windows are pass-independent;
+	// totals are filled in below).
+	for i, s := range sites {
+		sc := SiteCert{Label: s.label(), Proc: s.proc, Line: s.line(), TotalPages: -1}
+		if sc.Proc == "" {
+			sc.Proc = "main"
+		}
+		for _, st := range states[i] {
+			sc.Windows = append(sc.Windows, ArrayWindow{
+				Array:          st.arr.Name,
+				Footprint:      st.fpPoly,
+				FootprintPages: st.fpPages,
+				WindowPages:    st.window,
+				Policy:         st.policy,
+				Note:           strings.Join(st.notes, "; "),
+			})
+		}
+		cert.Sites = append(cert.Sites, sc)
+	}
+
+	// Interpret the sequence with carried-over residency. Unresolved
+	// bounds (-1) degrade to the machine's full allotment and taint the
+	// symbolic bound, but never the clamped certificate.
+	mem := int64(in.tgt.MemoryPages)
+	val := func(x int64, resolved *bool) int64 {
+		if x < 0 {
+			*resolved = false
+			return mem
+		}
+		return x
+	}
+	resolved := true
+	carry := map[*lang.Array]int64{}
+	var peak int64
+	peakSite := ""
+	for pass := 0; pass < 2; pass++ {
+		for i, s := range sites {
+			touched := map[*lang.Array]bool{}
+			total := int64(pipelineSlackPages)
+			for _, st := range states[i] {
+				touched[st.arr] = true
+				w := val(st.window, &resolved)
+				// Carried-in pages are still resident when the nest
+				// starts; a streamed nest drains them only as the
+				// stream passes.
+				total += carry[st.arr] + w
+			}
+			for arr, c := range carry {
+				if !touched[arr] {
+					total += c
+				}
+			}
+			if total > peak {
+				peak = total
+				peakSite = s.label()
+			}
+			if total > cert.Sites[i].TotalPages {
+				cert.Sites[i].TotalPages = total
+			}
+			// Advance the carried residency.
+			for _, st := range states[i] {
+				w := val(st.window, &resolved)
+				whole := val(st.wholePages, &resolved)
+				if st.streamed && st.coversWhole {
+					// The stream touches (and so releases) every page,
+					// including everything carried in: only the tail
+					// window survives the nest.
+					carry[st.arr] = w
+					continue
+				}
+				c := carry[st.arr] + w
+				if c > whole {
+					c = whole
+				}
+				carry[st.arr] = c
+			}
+		}
+	}
+
+	if len(sites) == 0 {
+		peak = 0
+	}
+	cert.BoundPages = peak
+	if !resolved {
+		cert.BoundPages = -1
+	}
+	cert.CertifiedPages = peak
+	if cert.CertifiedPages > mem || !resolved {
+		cert.CertifiedPages = mem
+		cert.Clamped = true
+	}
+	cert.PeakSite = peakSite
+
+	in.findUncertified(sites, states, cert)
+	in.findDeadWindows(sites, states, cert)
+	return cert
+}
+
+// findUncertified records nests whose schedule carries release
+// directives while some array was forced to ⊤ — the schedule streams
+// there without a certificate backing it (HV013). Procedure nests are
+// reported once, not per call site.
+func (in *interp) findUncertified(sites []*site, states [][]*arrayState, cert *Certificate) {
+	seen := map[*lang.Loop]bool{}
+	for i, s := range sites {
+		if seen[s.root] {
+			continue
+		}
+		hasRelease := false
+		for j := range in.hints {
+			h := &in.hints[j]
+			if len(h.Path) > 0 && h.Path[0] == s.root {
+				hasRelease = true
+				break
+			}
+		}
+		if !hasRelease {
+			continue
+		}
+		var reasons []string
+		for _, st := range states[i] {
+			if !st.top {
+				continue
+			}
+			for _, n := range st.notes {
+				reasons = append(reasons, fmt.Sprintf("%s: %s", st.arr.Name, n))
+			}
+		}
+		if len(reasons) == 0 {
+			continue
+		}
+		seen[s.root] = true
+		proc := s.proc
+		if proc == "" {
+			proc = "main"
+		}
+		cert.Uncertified = append(cert.Uncertified, UncertifiedNest{
+			Proc:    proc,
+			Line:    s.line(),
+			Reasons: reasons,
+		})
+	}
+}
+
+// findDeadWindows records arrays whose final touch in the nest
+// sequence sits under a priority>0 (buffered) release while at least
+// one full nest still runs afterwards: the buffer retains the pages
+// for reuse that provably never comes (HV012).
+func (in *interp) findDeadWindows(sites []*site, states [][]*arrayState, cert *Certificate) {
+	last := map[*lang.Array]int{}
+	for i := range sites {
+		for _, st := range states[i] {
+			last[st.arr] = i
+		}
+	}
+	seen := map[*lang.Array]bool{}
+	for i, s := range sites {
+		for _, st := range states[i] {
+			if st.retain == nil || seen[st.arr] {
+				continue
+			}
+			if last[st.arr] != i {
+				continue
+			}
+			after := len(sites) - 1 - i
+			if after < 1 {
+				continue
+			}
+			seen[st.arr] = true
+			proc := s.proc
+			if proc == "" {
+				proc = "main"
+			}
+			cert.DeadWindows = append(cert.DeadWindows, DeadWindow{
+				Proc:       proc,
+				Line:       s.line(),
+				Array:      st.arr.Name,
+				Tag:        st.retain.Tag,
+				Priority:   st.retain.Priority,
+				NestsAfter: after,
+			})
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package hogvet
+
+import (
+	"fmt"
+	"strings"
+
+	"memhogs/internal/compiler"
+	"memhogs/internal/footprint"
+)
+
+// checkCertificate runs the hogflow residency certification
+// (internal/footprint) over the schedule and converts its findings
+// into diagnostics: HV011 when the certified peak at the bound
+// parameters exceeds the machine's page allotment, HV012 for
+// buffered releases that retain pages with provably zero remaining
+// reuse, and HV013 for nests whose schedule runs uncertified because
+// the analysis was forced to ⊤.
+//
+// Certification models the buffered (B) run-time policy — the
+// configuration the paper's schedules are designed for — so it only
+// runs when the target compiles releases at all.
+func (v *vetCtx) checkCertificate(hints []compiler.Hint) {
+	if !v.tgt.Release || len(hints) == 0 {
+		return
+	}
+	opts := footprint.Opts{Params: v.opts.Params}
+	certB := footprint.Certify(v.prog, v.tgt, hints, footprint.VersionB, opts)
+
+	if certB.BoundPages >= 0 && !certB.ParamGaps && certB.BoundPages > int64(v.tgt.MemoryPages) {
+		certR := footprint.Certify(v.prog, v.tgt, hints, footprint.VersionR, opts)
+		detail := fmt.Sprintf("peak at nest %s; the run-time layer will filter the overflow dynamically, but the schedule alone does not keep the process within its allotment", certB.PeakSite)
+		if certR.BoundPages >= 0 && certR.BoundPages <= int64(v.tgt.MemoryPages) {
+			detail = fmt.Sprintf("peak at nest %s; aggressive releasing would certify at %d pages, so it is the buffered retention that overflows", certB.PeakSite, certR.BoundPages)
+		}
+		v.add(Diagnostic{
+			Code: "HV011", Check: "certificate-overflow", Severity: Warning,
+			Program: v.prog.Name, Tag: -1,
+			Message: fmt.Sprintf("certified peak residency %d pages exceeds the %d-page allotment (version B)",
+				certB.BoundPages, v.tgt.MemoryPages),
+			Detail: detail,
+			Fix:    "tighten the release schedule (precise placement, lower retention priorities) or shrink the per-nest working set; `memhog certify` renders the per-nest breakdown",
+		})
+	}
+
+	for _, d := range certB.DeadWindows {
+		proc := d.Proc
+		if proc == "main" {
+			proc = ""
+		}
+		v.add(Diagnostic{
+			Code: "HV012", Check: "dead-window", Severity: Warning,
+			Program: v.prog.Name, Proc: proc, Line: d.Line, Array: d.Array, Tag: d.Tag,
+			Message: fmt.Sprintf("buffered release of %q (priority %d) retains pages with zero remaining reuse", d.Array, d.Priority),
+			Detail: fmt.Sprintf("this nest is the array's last reference, yet %d full nest(s) still run while the buffer holds its pages against memory pressure",
+				d.NestsAfter),
+			Fix: "demote the release priority to 0 here so the pages free immediately after the final use",
+		})
+	}
+
+	for _, u := range certB.Uncertified {
+		proc := u.Proc
+		if proc == "main" {
+			proc = ""
+		}
+		v.add(Diagnostic{
+			Code: "HV013", Check: "uncertified-nest", Severity: Note,
+			Program: v.prog.Name, Proc: proc, Line: u.Line, Tag: -1,
+			Message: fmt.Sprintf("release schedule runs uncertified in this nest: %d array(s) forced to ⊤", len(u.Reasons)),
+			Detail:  strings.Join(u.Reasons, "; "),
+			Fix:     "the certificate falls back to whole-array residency here; rely on run-time filtering, or restructure the accesses to be affine with compile-time-known strides",
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package hogvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memhogs/internal/hogvet"
+)
+
+// certFixture compiles one residency-certification fixture and runs
+// the verifier (no runtime params: the fixtures use literal bounds).
+func certFixture(t *testing.T, name string) hogvet.Diagnostics {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name+".hog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hogvet.VetParams(compileSrc(t, string(src)), nil)
+}
+
+// TestCertFixtureGoldens locks the diagnostic listings of the three
+// certification fixtures: overflow pins HV011, deadwindow HV012,
+// uncert HV013. Regenerate intentionally with `go run ./cmd/gen-golden`.
+func TestCertFixtureGoldens(t *testing.T) {
+	for _, name := range []string{"overflow", "deadwindow", "uncert"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			got := certFixture(t, name).String()
+			want, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden (run `go run ./cmd/gen-golden`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed; if intentional run `go run ./cmd/gen-golden`\n--- got\n%s\n--- want\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCertFixtureShapes pins each fixture's finding independently of
+// the golden bytes: exactly one diagnostic of the expected code and
+// severity, carrying the expected array where the check is per-array.
+func TestCertFixtureShapes(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		code     string
+		severity hogvet.Severity
+		array    string
+	}{
+		{"overflow", "HV011", hogvet.Warning, ""},
+		{"deadwindow", "HV012", hogvet.Warning, "r"},
+		{"uncert", "HV013", hogvet.Note, ""},
+	}
+	for _, c := range cases {
+		ds := certFixture(t, c.fixture)
+		if len(ds) != 1 {
+			t.Errorf("%s: want exactly 1 diagnostic, got:\n%s", c.fixture, ds)
+			continue
+		}
+		d := ds[0]
+		if d.Code != c.code {
+			t.Errorf("%s: code = %s, want %s", c.fixture, d.Code, c.code)
+		}
+		if d.Severity != c.severity {
+			t.Errorf("%s: severity = %v, want %v", c.fixture, d.Severity, c.severity)
+		}
+		if d.Array != c.array {
+			t.Errorf("%s: array = %q, want %q", c.fixture, d.Array, c.array)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func VetSchedule(prog *lang.Program, tgt compiler.Target, hints []compiler.Hint,
 	v.checkDuplicates(hints)
 	v.checkDeadHints(hints)
 	v.checkNests(hints)
+	v.checkCertificate(hints)
 	v.ds.sortStable()
 	return v.ds
 }

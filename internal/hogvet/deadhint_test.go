@@ -8,16 +8,11 @@ import (
 
 	"memhogs/internal/compiler"
 	"memhogs/internal/hogvet"
-	"memhogs/internal/lang"
 )
 
-// deadHintSchedule compiles testdata/deadhint.hog and appends a
-// synthetic release for the never-referenced array b, cloned from a's
-// release so every other check stays quiet (consistent priority,
-// fresh tag). This is the shape a corrupted or hand-written schedule
-// produces; the stock compiler derives hints from references and
-// cannot emit it. cmd/gen-golden duplicates this construction when
-// regenerating the golden.
+// deadHintSchedule compiles testdata/deadhint.hog and tampers the
+// schedule with hogvet.TamperDeadHint — the shared HV010 fixture
+// construction also used by cmd/gen-golden.
 func deadHintSchedule(t *testing.T) (*compiler.Compiled, []compiler.Hint) {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join("testdata", "deadhint.hog"))
@@ -25,33 +20,11 @@ func deadHintSchedule(t *testing.T) (*compiler.Compiled, []compiler.Hint) {
 		t.Fatal(err)
 	}
 	c := compileSrc(t, string(src))
-	hints := c.Hints()
-	var dead *compiler.Hint
-	maxTag := 0
-	for i := range hints {
-		if hints[i].Tag > maxTag {
-			maxTag = hints[i].Tag
-		}
-		if hints[i].Kind == compiler.HintRelease {
-			dead = &hints[i]
-		}
+	hints, err := hogvet.TamperDeadHint(c, "b")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if dead == nil {
-		t.Fatal("fixture compiled without a release hint for a")
-	}
-	var b *lang.Array
-	for _, a := range c.Prog.Arrays {
-		if a.Name == "b" {
-			b = a
-		}
-	}
-	if b == nil {
-		t.Fatal("fixture has no array b")
-	}
-	synth := *dead
-	synth.Array = b
-	synth.Tag = maxTag + 1
-	return c, append(hints, synth)
+	return c, hints
 }
 
 // TestDeadHintGolden locks the HV010 listing for the synthetic dead

@@ -33,6 +33,19 @@
 //	                                enclosing nest never references —
 //	                                every evaluation is filtered
 //	                                run-time overhead
+//	HV011 certificate-overflow      the hogflow residency certificate
+//	                                (internal/footprint) proves the
+//	                                buffered schedule's peak resident
+//	                                set exceeds the machine's page
+//	                                allotment at the bound parameters
+//	HV012 dead-window               a priority>0 (buffered) release
+//	                                retains an array past its provably
+//	                                last reference while at least one
+//	                                full nest still runs
+//	HV013 uncertified-nest          note: the residency certificate was
+//	                                forced to ⊤ for some array in a
+//	                                nest carrying releases — the
+//	                                schedule streams there uncertified
 //
 // HV000 (analysis-summary) is reserved for informational notes that
 // front ends route through the same formatter (cmd/hogc's -stats
@@ -211,6 +224,10 @@ type Options struct {
 	// loops when estimating hint volume; 0 uses the compile target's
 	// value.
 	UnknownTrip int64
+	// Params binds runtime parameters (problem sizes) for the
+	// residency certification behind HV011–HV013; bounds that stay
+	// unresolved without them never fire HV011.
+	Params map[string]int64
 }
 
 // DefaultOptions returns the standard thresholds.

@@ -208,6 +208,7 @@ func (d *Daemon) askDonors(p *sim.Proc) {
 // single address space, holding that space's memory lock for the whole
 // batch (the long lock holds that inflate fault service times in the
 // paper).
+//simvet:hot
 func (d *Daemon) scanBatch(p *sim.Proc) int {
 	nf := d.phys.NumFrames()
 	// Find the first scannable frame.
@@ -278,6 +279,7 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			if dirty {
 				d.Stats.Writebacks++
 				as.Stats.Writebacks++
+				//simvet:allow SV006 one request record per writeback; the disk queue owns it
 				d.disks.Submit(as.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
 			}
 			if d.phys.FreeCount() >= d.target() {

@@ -68,8 +68,13 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+//simvet:hot
+//simvet:allow SV006 heap growth is amortized; popped slots are reused
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+
+//simvet:hot
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -102,23 +107,31 @@ func (s *Sim) Now() Time { return s.now }
 // At schedules fn to run inside the event loop at time t. Scheduling
 // in the past is an error in the caller; it is clamped to now so the
 // simulation never moves backwards.
+//
+//simvet:hot
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
+	//simvet:allow SV006 one record per scheduled event; the heap owns it until dispatch
 	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
+//
+//simvet:hot
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
 // scheduleResume enqueues the resumption of p at time t.
+//
+//simvet:hot
 func (s *Sim) scheduleResume(p *Proc, t Time) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
+	//simvet:allow SV006 one record per scheduled resumption; the heap owns it until dispatch
 	heap.Push(&s.events, &event{at: t, seq: s.seq, proc: p})
 }
 
@@ -129,6 +142,8 @@ func (s *Sim) Stop() { s.stopped = true }
 // Run executes events until the queue drains, the horizon passes, or
 // Stop is called. A zero horizon means "run until idle". It returns
 // the virtual time at which it stopped.
+//
+//simvet:hot
 func (s *Sim) Run(horizon Time) Time {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
@@ -150,6 +165,8 @@ func (s *Sim) Run(horizon Time) Time {
 
 // dispatch hands control to p's goroutine and blocks until it parks
 // again or finishes.
+//
+//simvet:hot
 func (s *Sim) dispatch(p *Proc) {
 	if p.finished {
 		return

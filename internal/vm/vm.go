@@ -171,6 +171,7 @@ type Stats struct {
 	Writebacks       int64
 	StolenPages      int64 // taken by the paging daemon
 	ReleasedPages    int64 // freed by the releaser
+	PeakResident     int64 // high-water mark of the resident set, in pages
 }
 
 // AS is an address space: a dense page table over a fixed number of
@@ -291,6 +292,9 @@ func (as *AS) swapPage(vpn int) int64 { return as.swapBase + int64(vpn) }
 // process exceeds its maxrss.
 func (as *AS) grew() {
 	as.Resident++
+	if int64(as.Resident) > as.Stats.PeakResident {
+		as.Stats.PeakResident = int64(as.Resident)
+	}
 	if as.Resident > as.MaxRSS && as.OverLimit != nil {
 		as.OverLimit()
 	}
@@ -317,6 +321,7 @@ func (as *AS) notifyActivity() {
 // Touch references vpn, taking whatever fault is needed. write marks
 // the page dirty. The fast path (resident and valid) costs nothing and
 // allocates nothing.
+//simvet:hot
 func (as *AS) Touch(x Exec, vpn int, write bool) Outcome {
 	as.Stats.Touches++
 	pte := &as.ptes[vpn]
@@ -606,6 +611,7 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 // (the releaser skips pages referenced after the request). Called by
 // the PM with the request, before queueing to the releaser. It does
 // not free anything.
+//simvet:hot
 func (as *AS) InvalidateForRelease(vpn int) {
 	pte := &as.ptes[vpn]
 	if pte.Present && pte.Valid {
@@ -652,6 +658,7 @@ func (as *AS) TryReclaim(vpn int, kind mem.FreeKind) (freed bool, dirty bool) {
 
 // ClearValid clears the Valid bit with the given reason (the paging
 // daemon's reference-bit emulation pass). Caller holds Memlock.
+//simvet:hot
 func (as *AS) ClearValid(vpn int, why InvalidReason) bool {
 	pte := &as.ptes[vpn]
 	if pte.Present && pte.Valid && !pte.Busy {
@@ -666,6 +673,7 @@ func (as *AS) ClearValid(vpn int, why InvalidReason) bool {
 // paging daemon's clock, giving pages that are invalid for other
 // reasons (e.g. prefetched but not yet referenced) one full clock pass
 // of grace before they become steal candidates. Caller holds Memlock.
+//simvet:hot
 func (as *AS) MarkClockCandidate(vpn int) {
 	pte := &as.ptes[vpn]
 	if pte.Present && !pte.Valid && !pte.Busy {

@@ -40,6 +40,7 @@ import (
 	"memhogs/internal/driver"
 	"memhogs/internal/events"
 	"memhogs/internal/experiments"
+	"memhogs/internal/footprint"
 	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
 	"memhogs/internal/lang"
@@ -263,17 +264,42 @@ func (p *Program) VetWithStats() *VetReport {
 
 // VetBenchmark compiles a built-in benchmark for the machine (Buffered
 // version, so the full prefetch and release schedule is present) and
-// runs the verifier over it.
+// runs the verifier over it, with the benchmark's runtime parameters
+// bound so the residency certification (HV011–HV013) evaluates at the
+// machine's scale.
 func VetBenchmark(name string, m Machine) (*VetReport, error) {
-	src, err := BenchmarkSource(name, m)
+	spec, err := specFor(name, m)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := Compile(src, m, Buffered)
+	prog, err := Compile(spec.Source, m, Buffered)
 	if err != nil {
 		return nil, err
 	}
-	return prog.Vet(), nil
+	return vetReport(prog.name, hogvet.VetParams(prog.comp, spec.Params)), nil
+}
+
+// CertifyBenchmark compiles a built-in benchmark with the full hint
+// schedule and renders its hogflow residency certificates for all
+// four versions O/P/R/B: the per-nest breakdown of the buffered
+// interpretation plus the cross-version peak summary. The output is a
+// pure function of the benchmark and machine, so it is byte-identical
+// across runs and worker counts.
+func CertifyBenchmark(name string, m Machine) (string, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return "", err
+	}
+	prog, err := Compile(spec.Source, m, Buffered)
+	if err != nil {
+		return "", err
+	}
+	certs := map[footprint.Version]*footprint.Certificate{}
+	for _, v := range footprint.Versions() {
+		certs[v] = footprint.Certify(prog.prog, prog.comp.Target, prog.comp.Hints(), v,
+			footprint.Opts{Params: spec.Params})
+	}
+	return footprint.Report(certs), nil
 }
 
 // RunOptions configures a Program run.
