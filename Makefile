@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet simvet certify lint bench examples experiments verify golden trace chaos fuzz clean
+.PHONY: all build test vet hogvet simvet certify lint bench bench-compare examples experiments verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -53,7 +53,18 @@ test: build vet
 # second for every benchmark × version) for regression tracking.
 bench:
 	go test -run XXX -bench=. -benchmem ./...
-	@test -f BENCH_sim.json && echo "bench: wrote BENCH_sim.json" || true
+	@test -f BENCH_sim.json || { echo "bench: BenchmarkSimMatrix never wrote BENCH_sim.json" >&2; exit 1; }
+	@echo "bench: wrote BENCH_sim.json"
+
+# Perf regression gate: rerun the simulator-throughput matrix once per
+# cell and diff it against the committed baseline. Fails on any cell
+# more than 25% below BENCH_baseline.json; refresh the baseline (copy
+# BENCH_sim.json over it) only with a justification in the PR.
+bench-compare: build
+	@rm -f BENCH_sim.json
+	go test -run XXX -bench BenchmarkSimMatrix -benchtime 1x .
+	@test -f BENCH_sim.json || { echo "bench-compare: BenchmarkSimMatrix never wrote BENCH_sim.json" >&2; exit 1; }
+	go run ./cmd/benchdiff -baseline BENCH_baseline.json -fresh BENCH_sim.json -max-regress 0.25
 
 examples:
 	go run ./examples/quickstart

@@ -1,0 +1,108 @@
+// benchdiff compares a fresh BENCH_sim.json against the committed
+// BENCH_baseline.json and fails when simulator throughput regressed
+// beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff [-baseline BENCH_baseline.json] [-fresh BENCH_sim.json] [-max-regress 0.25]
+//
+// Both files are BenchmarkSimMatrix artifacts: one row per benchmark ×
+// version with events/sec and virtual-seconds/wall-second. Every cell
+// present in the baseline must be present in the fresh file (a partial
+// run is an error, not a pass). The exit status is non-zero when any
+// cell's events/sec falls more than -max-regress below its baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type cell struct {
+	Bench          string  `json:"bench"`
+	Version        string  `json:"version"`
+	Events         int64   `json:"events"`
+	VirtualSec     float64 `json:"virtual_sec"`
+	WallSec        float64 `json:"wall_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	VirtualPerWall float64 `json:"virtual_sec_per_wall_sec"`
+}
+
+func load(path string) (map[string]cell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cells []cell
+	if err := json.Unmarshal(data, &cells); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]cell, len(cells))
+	for _, c := range cells {
+		m[c.Bench+"/"+c.Version] = c
+	}
+	return m, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+	fresh := flag.String("fresh", "BENCH_sim.json", "fresh BenchmarkSimMatrix artifact")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when a cell's events/sec drops more than this fraction below baseline")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	now, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions, missing []string
+	doubled := 0
+	fmt.Printf("%-12s %14s %14s %8s\n", "cell", "base ev/s", "fresh ev/s", "ratio")
+	for _, k := range keys {
+		b := base[k]
+		f, ok := now[k]
+		if !ok {
+			missing = append(missing, k)
+			continue
+		}
+		ratio := 0.0
+		if b.EventsPerSec > 0 {
+			ratio = f.EventsPerSec / b.EventsPerSec
+		}
+		mark := ""
+		if ratio < 1-*maxRegress {
+			mark = "  REGRESSED"
+			regressions = append(regressions, k)
+		}
+		if ratio >= 2 {
+			doubled++
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %7.2fx%s\n", k, b.EventsPerSec, f.EventsPerSec, ratio, mark)
+	}
+	fmt.Printf("benchdiff: %d/%d cells at >= 2x baseline throughput\n", doubled, len(keys))
+
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: fresh artifact is missing %d baseline cells: %v\n", len(missing), missing)
+		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d cells regressed more than %.0f%%: %v\n",
+			len(regressions), *maxRegress*100, regressions)
+		os.Exit(1)
+	}
+}

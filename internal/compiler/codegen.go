@@ -21,6 +21,10 @@ type xloop struct {
 	body   []xstmt
 	dirs   []*xdir
 	strip  *stripPlan
+
+	// Slot-resolved forms, filled by finalize.
+	vSlot    int32
+	clo, chi cscalar
 }
 
 func (*xloop) isX() {}
@@ -39,6 +43,10 @@ type xcall struct {
 	proc *lang.Proc
 	args []lang.Scalar
 	body []xstmt
+
+	// Slot-resolved forms, filled by finalize.
+	cargs       []cscalar
+	formalSlots []int32
 }
 
 func (*xcall) isX() {}
@@ -51,6 +59,11 @@ type accessSite struct {
 	ind   *indirectSpec // the a[b[i]] form
 	elem  int
 	write bool
+
+	// Slot-resolved forms, filled by finalize: clin mirrors lin, cidx
+	// mirrors ind.idxLin.
+	clin caffine
+	cidx caffine
 }
 
 // dirKind distinguishes prefetch from release directives.
@@ -83,6 +96,13 @@ type xdir struct {
 	ind     *indirectSpec
 	elem    int
 	loopVar string
+
+	// Slot-resolved forms, filled by finalize: clin mirrors lin, cidx
+	// mirrors ind.idxLin.
+	clin        caffine
+	cidx        caffine
+	loopVarSlot int32
+	gateSlots   []int32
 }
 
 // stripPlan marks an innermost all-affine loop for strip-mode

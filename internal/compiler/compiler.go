@@ -113,6 +113,12 @@ type Compiled struct {
 	numSites int
 	procs    map[*lang.Proc][]xstmt
 	hints    []Hint
+
+	// Scalar-name slot table: finalize resolves every param, loop
+	// variable, and formal to a dense index so the interpreter can run
+	// over flat vectors instead of a string-keyed map (see slots.go).
+	slots     map[string]int32
+	slotNames []string
 }
 
 // NumTags returns the number of distinct hint tags (request
@@ -158,6 +164,7 @@ func Compile(prog *lang.Program, tgt Target) (*Compiled, error) {
 		return nil, err
 	}
 	c.Main = main
+	c.finalize()
 	return c, nil
 }
 

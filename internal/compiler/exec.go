@@ -35,6 +35,11 @@ type Image struct {
 	TotalPages int
 	DataBytes  int64
 	pageShift  uint
+
+	// Initial slot vectors (params and known values resolved to the
+	// compiler's slot table); each Run clones them.
+	initVals  []int64
+	initBound []bool
 }
 
 // Bind lays out the program's arrays for the given parameter values
@@ -82,6 +87,14 @@ func (c *Compiled) Bind(params map[string]int64) (*Image, error) {
 	img.TotalPages = int(off / ps)
 	if img.TotalPages == 0 {
 		img.TotalPages = 1
+	}
+	img.initVals = make([]int64, len(c.slotNames))
+	img.initBound = make([]bool, len(c.slotNames))
+	for i, name := range c.slotNames {
+		if v, ok := env[name]; ok {
+			img.initVals[i] = v
+			img.initBound[i] = true
+		}
 	}
 	// Every indirection array must be able to produce values.
 	if err := c.checkIndirectData(c.Main); err != nil {
@@ -134,8 +147,9 @@ func (img *Image) Run(h Hints) error {
 	r := &runner{
 		img:      img,
 		h:        h,
-		env:      img.Env.Clone(),
-		isFirst:  map[string]bool{},
+		vals:     append([]int64(nil), img.initVals...),
+		bound:    append([]bool(nil), img.initBound...),
+		isFirst:  make([]bool, len(img.C.slotNames)),
 		dirLast:  make([]int64, img.C.numDirs),
 		siteLast: make([]int64, img.C.numSites),
 	}
@@ -148,12 +162,16 @@ func (img *Image) Run(h Hints) error {
 	return r.stmts(img.C.Main)
 }
 
-// runner is the per-run interpreter state.
+// runner is the per-run interpreter state. Scalars live in flat
+// slot-indexed vectors (see slots.go): vals/bound mirror what the old
+// lang.Env map held (bound[s] false = name absent), isFirst tracks the
+// first-iteration flag per loop variable for prefetch gating.
 type runner struct {
 	img      *Image
 	h        Hints
-	env      lang.Env
-	isFirst  map[string]bool
+	vals     []int64
+	bound    []bool
+	isFirst  []bool
 	dirLast  []int64
 	siteLast []int64
 	scratch  []int64
@@ -181,52 +199,46 @@ func (r *runner) stmts(list []xstmt) error {
 
 func (r *runner) call(c *xcall) error {
 	type saved struct {
-		name string
-		val  int64
-		had  bool
+		val int64
+		had bool
 	}
-	olds := make([]saved, len(c.proc.Formals))
-	for i, f := range c.proc.Formals {
-		v, err := c.args[i].Eval(r.env)
+	olds := make([]saved, len(c.formalSlots))
+	for i, s := range c.formalSlots {
+		v, err := r.evalScalar(&c.cargs[i])
 		if err != nil {
 			return fmt.Errorf("call %s: %w", c.proc.Name, err)
 		}
-		old, had := r.env[f]
-		olds[i] = saved{name: f, val: old, had: had}
-		r.env[f] = v
+		olds[i] = saved{val: r.vals[s], had: r.bound[s]}
+		r.vals[s] = v
+		r.bound[s] = true
 	}
 	err := r.stmts(c.body)
-	for _, o := range olds {
-		if o.had {
-			r.env[o.name] = o.val
-		} else {
-			delete(r.env, o.name)
-		}
+	for i, s := range c.formalSlots {
+		r.vals[s] = olds[i].val
+		r.bound[s] = olds[i].had
 	}
 	return err
 }
 
 func (r *runner) loop(l *xloop) error {
-	lo, err := l.lo.Eval(r.env)
+	lo, err := r.evalScalar(&l.clo)
 	if err != nil {
 		return err
 	}
-	hi, err := l.hi.Eval(r.env)
+	hi, err := r.evalScalar(&l.chi)
 	if err != nil {
 		return err
 	}
 	if lo > hi {
 		return nil
 	}
-	savedVal, had := r.env[l.v]
-	savedFirst := r.isFirst[l.v]
+	s := l.vSlot
+	savedVal, had := r.vals[s], r.bound[s]
+	savedFirst := r.isFirst[s]
 	defer func() {
-		if had {
-			r.env[l.v] = savedVal
-		} else {
-			delete(r.env, l.v)
-		}
-		r.isFirst[l.v] = savedFirst
+		r.vals[s] = savedVal
+		r.bound[s] = had
+		r.isFirst[s] = savedFirst
 	}()
 
 	if l.strip != nil {
@@ -234,8 +246,9 @@ func (r *runner) loop(l *xloop) error {
 	}
 	first := true
 	for v := lo; v <= hi; v += l.step {
-		r.env[l.v] = v
-		r.isFirst[l.v] = first
+		r.vals[s] = v
+		r.bound[s] = true
+		r.isFirst[s] = first
 		for _, d := range l.dirs {
 			if err := r.fire(d); err != nil {
 				return err
@@ -250,14 +263,18 @@ func (r *runner) loop(l *xloop) error {
 }
 
 // indirectElem resolves an a[b[i]] target element, with a shift on the
-// attached loop variable for look-ahead.
-func (r *runner) indirectElem(arr *lang.Array, ind *indirectSpec, loopVar string, shift int64) (int64, bool) {
+// attached loop variable (by slot) for look-ahead. idx is the
+// slot-compiled form of ind.idxLin.
+func (r *runner) indirectElem(arr *lang.Array, ind *indirectSpec, idxc *caffine, loopVarSlot int32, shift int64) (int64, bool) {
+	var old int64
 	if shift != 0 {
-		old := r.env[loopVar]
-		r.env[loopVar] = old + shift
-		defer func() { r.env[loopVar] = old }()
+		old = r.vals[loopVarSlot]
+		r.vals[loopVarSlot] = old + shift
 	}
-	idx, err := ind.idxLin.Eval(r.env)
+	idx, err := r.evalAffine(idxc)
+	if shift != 0 {
+		r.vals[loopVarSlot] = old
+	}
 	if err != nil {
 		return 0, false
 	}
@@ -288,13 +305,13 @@ func (r *runner) indirectElem(arr *lang.Array, ind *indirectSpec, loopVar string
 func (r *runner) fire(d *xdir) error {
 	var page int64
 	if d.ind != nil {
-		elem, ok := r.indirectElem(d.arr, d.ind, d.loopVar, d.itersAhead)
+		elem, ok := r.indirectElem(d.arr, d.ind, &d.cidx, d.loopVarSlot, d.itersAhead)
 		if !ok {
 			return nil
 		}
 		page = r.img.byteOf(d.arr, elem) >> r.img.pageShift
 	} else {
-		elem, err := d.lin.Eval(r.env)
+		elem, err := r.evalAffine(&d.clin)
 		if err != nil {
 			return err
 		}
@@ -315,7 +332,7 @@ func (r *runner) issue(d *xdir, page int64, firstObs bool) {
 		r.h.Release(d.tag, d.prio, page)
 		return
 	}
-	for _, g := range d.gates {
+	for _, g := range d.gateSlots {
 		if !r.isFirst[g] {
 			return
 		}
@@ -352,13 +369,13 @@ func (r *runner) assign(a *xassign) error {
 	for _, s := range a.sites {
 		var elem int64
 		if s.ind != nil {
-			e, ok := r.indirectElem(s.arr, s.ind, "", 0)
+			e, ok := r.indirectElem(s.arr, s.ind, &s.cidx, 0, 0)
 			if !ok {
 				continue
 			}
 			elem = e
 		} else {
-			e, err := s.lin.Eval(r.env)
+			e, err := r.evalAffine(&s.clin)
 			if err != nil {
 				return err
 			}
@@ -384,13 +401,19 @@ type tracked struct {
 	dir   *xdir
 }
 
-// coefVal evaluates the (possibly symbolic) coefficient of v in lin.
-func (r *runner) coefVal(lin *lang.Affine, v string) int64 {
-	for _, t := range lin.Terms {
-		if t.Var == v {
-			c := t.Coef
-			if t.CoefParam != "" {
-				c *= r.env[t.CoefParam]
+// coefVal evaluates the (possibly symbolic) coefficient of slot v in
+// lin. An unbound stride parameter contributes zero, as the map lookup
+// used to.
+func (r *runner) coefVal(lin *caffine, v int32) int64 {
+	for i := range lin.terms {
+		t := &lin.terms[i]
+		if t.slot == v {
+			c := t.coef
+			if t.coefSlot >= 0 {
+				if !r.bound[t.coefSlot] {
+					return 0
+				}
+				c *= r.vals[t.coefSlot]
 			}
 			return c
 		}
@@ -403,23 +426,24 @@ func (r *runner) coefVal(lin *lang.Affine, v string) int64 {
 // accumulated work) are identical to element-by-element execution at
 // page granularity.
 func (r *runner) stripLoop(l *xloop, lo, hi int64) error {
-	r.env[l.v] = lo
-	r.isFirst[l.v] = true
+	r.vals[l.vSlot] = lo
+	r.bound[l.vSlot] = true
+	r.isFirst[l.vSlot] = true
 	tr := make([]tracked, 0, len(l.strip.sites)+len(l.dirs))
 	for _, s := range l.strip.sites {
-		base, err := s.lin.Eval(r.env)
+		base, err := r.evalAffine(&s.clin)
 		if err != nil {
 			return err
 		}
 		tr = append(tr, tracked{
 			pos:   r.img.byteOf(s.arr, base),
-			delta: r.coefVal(s.lin, l.v) * l.step * int64(s.elem),
+			delta: r.coefVal(&s.clin, l.vSlot) * l.step * int64(s.elem),
 			last:  -1,
 			site:  s,
 		})
 	}
 	for _, d := range l.dirs {
-		base, err := d.lin.Eval(r.env)
+		base, err := r.evalAffine(&d.clin)
 		if err != nil {
 			return err
 		}
@@ -428,7 +452,7 @@ func (r *runner) stripLoop(l *xloop, lo, hi int64) error {
 		// the run-wide slot, not per entry.
 		tr = append(tr, tracked{
 			pos:   r.img.byteOf(d.arr, base),
-			delta: r.coefVal(d.lin, l.v) * l.step * int64(d.elem),
+			delta: r.coefVal(&d.clin, l.vSlot) * l.step * int64(d.elem),
 			last:  r.dirLast[d.id],
 			dir:   d,
 		})
@@ -480,7 +504,7 @@ func (r *runner) stripLoop(l *xloop, lo, hi int64) error {
 		it += steps
 		// After the first advance the loop is no longer at its first
 		// iteration (gating for peeled prefetches).
-		r.isFirst[l.v] = false
+		r.isFirst[l.vSlot] = false
 	}
 	return nil
 }

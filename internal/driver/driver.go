@@ -138,6 +138,11 @@ type Result struct {
 	// AuditTicks counts completed cadence audits.
 	Chaos      chaos.Counts
 	AuditTicks int
+
+	// SimClamps counts schedules the event loop had to clamp to "now"
+	// because the requested time was already in the past. Any non-zero
+	// value is a latent caller bug (see Sim.ClampedSchedules).
+	SimClamps int64
 }
 
 // StallResources returns the paper's "stall for unavailable resources"
@@ -309,6 +314,7 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 	}
 	res.Chaos = inj.Counts()
 	res.AuditTicks = auditTicks
+	res.SimClamps = sys.Sim.ClampedSchedules()
 	// Every run doubles as a whole-system consistency check.
 	if err := sys.Audit(); err != nil {
 		return nil, err

@@ -128,9 +128,13 @@ func (c Counts) Get(k Kind) int64 { return c[k] }
 //simvet:nilsafe
 type Recorder struct {
 	sim *sim.Sim
-	buf []Event
-	// The ring keeps the most recent len(buf) events: head is the index
-	// of the oldest retained event, n the number retained.
+	// The ring is stored in fixed-size chunks allocated on first use,
+	// so a short run that emits a few thousand events never pays for
+	// (or makes the garbage collector scan) the full capacity. head is
+	// the ring index of the oldest retained event, n the number
+	// retained.
+	chunks  [][]Event
+	ringCap int
 	head    int
 	n       int
 	dropped int64
@@ -140,6 +144,11 @@ type Recorder struct {
 // DefaultCapacity bounds the ring when New is given capacity <= 0.
 const DefaultCapacity = 1 << 16
 
+// chunkShift sizes the lazily-allocated ring chunks (1024 events,
+// ~80 KB: big enough to amortize, small enough that sparse use stays
+// cheap).
+const chunkShift = 10
+
 // New creates a recorder stamping events with s's virtual clock,
 // retaining at most capacity events (older ones are dropped and
 // counted, flight-recorder style).
@@ -147,7 +156,22 @@ func New(s *sim.Sim, capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Recorder{sim: s, buf: make([]Event, 0, capacity)}
+	nchunks := (capacity + (1 << chunkShift) - 1) >> chunkShift
+	return &Recorder{sim: s, ringCap: capacity, chunks: make([][]Event, nchunks)}
+}
+
+// slot returns the event at ring index i, allocating its chunk on
+// first touch.
+//
+//simvet:hot
+func (r *Recorder) slot(i int) *Event {
+	c := r.chunks[i>>chunkShift]
+	if c == nil {
+		//simvet:allow SV006 one-time lazy chunk allocation, amortized over 1024 events
+		c = make([]Event, 1<<chunkShift)
+		r.chunks[i>>chunkShift] = c
+	}
+	return &c[i&(1<<chunkShift-1)]
 }
 
 // Emit records one event. Safe (and free) on a nil Recorder.
@@ -158,17 +182,17 @@ func (r *Recorder) Emit(k Kind, actor, target string, page int, a, b int64) {
 		return
 	}
 	r.counts[k]++
-	e := Event{At: r.sim.Now(), Kind: k, Actor: actor, Target: target, Page: page, A: a, B: b}
-	if len(r.buf) < cap(r.buf) {
-		//simvet:allow SV006 append stays within the capacity New preallocated
-		r.buf = append(r.buf, e)
+	var idx int
+	if r.n < r.ringCap {
+		idx = (r.head + r.n) % r.ringCap
 		r.n++
-		return
+	} else {
+		// Full: overwrite the oldest.
+		idx = r.head
+		r.head = (r.head + 1) % r.ringCap
+		r.dropped++
 	}
-	// Full: overwrite the oldest.
-	r.buf[r.head] = e
-	r.head = (r.head + 1) % len(r.buf)
-	r.dropped++
+	*r.slot(idx) = Event{At: r.sim.Now(), Kind: k, Actor: actor, Target: target, Page: page, A: a, B: b}
 }
 
 // Len returns the number of events retained in the ring.
@@ -202,7 +226,7 @@ func (r *Recorder) Events() []Event {
 	}
 	out := make([]Event, 0, r.n)
 	for i := 0; i < r.n; i++ {
-		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+		out = append(out, *r.slot((r.head + i) % r.ringCap))
 	}
 	return out
 }

@@ -189,3 +189,21 @@ func TestWorkersResolution(t *testing.T) {
 		t.Errorf("default workers = %d", n)
 	}
 }
+
+// TestZeroClampsAcrossCampaignMatrix asserts the standard campaign
+// never schedules in the past: a nonzero clamp count means some layer
+// computed a stale deadline, which the event loop silently repaired
+// before the counter made it observable.
+func TestZeroClampsAcrossCampaignMatrix(t *testing.T) {
+	v, err := RunVersions(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range v.Specs {
+		for mode, r := range v.Results[spec.Name] {
+			if r.SimClamps != 0 {
+				t.Errorf("%s/%s: %d past-time schedules were clamped", spec.Name, mode, r.SimClamps)
+			}
+		}
+	}
+}

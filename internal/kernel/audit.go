@@ -42,6 +42,10 @@ func (sys *System) Audit() error {
 	free, offline := 0, 0
 	for i := 0; i < phys.NumFrames(); i++ {
 		f := phys.Frame(mem.FrameID(i))
+		if got, want := phys.FrameAllocated(i), !f.OnFreeList() && !f.IsOffline(); got != want {
+			return fmt.Errorf("audit: frame %d allocated bitmap says %v but frame state says %v",
+				f.ID, got, want)
+		}
 		if f.IsOffline() {
 			if f.OnFreeList() {
 				return fmt.Errorf("audit: offline frame %d still on the free list", f.ID)
@@ -144,6 +148,16 @@ func (sys *System) Audit() error {
 			}
 			if pte.Valid && !pte.Present {
 				return fmt.Errorf("audit: %s:%d valid but not present", p.Name, vpn)
+			}
+			// The packed residency/validity bitmaps are the fast-path
+			// mirror of the PTE array; they must never drift from it.
+			if as.ResidentBit(vpn) != pte.Present {
+				return fmt.Errorf("audit: %s:%d residency bitmap %v but PTE present %v",
+					p.Name, vpn, as.ResidentBit(vpn), pte.Present)
+			}
+			if as.ValidBit(vpn) != pte.Valid {
+				return fmt.Errorf("audit: %s:%d validity bitmap %v but PTE valid %v",
+					p.Name, vpn, as.ValidBit(vpn), pte.Valid)
 			}
 		}
 		if resident != as.Resident {

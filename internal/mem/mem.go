@@ -14,6 +14,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memhogs/internal/sim"
 )
@@ -107,6 +108,13 @@ type Phys struct {
 	offlineIDs []FrameID // hot-unplugged frames, LIFO
 	stats      Stats
 
+	// alloc is a packed bitmap with one bit per frame, set while the
+	// frame is allocated (neither free-listed nor offline). The paging
+	// daemon's clock sweep scans it word-at-a-time instead of walking
+	// Frame structs; the frames themselves stay the source of truth
+	// (the audit cross-checks the two).
+	alloc []uint64
+
 	waiters *sim.Waitq
 
 	// NeedMemory, if non-nil, is invoked whenever free memory drops to
@@ -134,6 +142,7 @@ func New(s *sim.Sim, n int) *Phys {
 		frames:  make([]Frame, n),
 		head:    NoFrame,
 		tail:    NoFrame,
+		alloc:   make([]uint64, (n+63)/64),
 		waiters: sim.NewWaitq("phys.alloc"),
 	}
 	for i := range p.frames {
@@ -161,7 +170,37 @@ func (p *Phys) Stats() Stats { return p.stats }
 // ResetStats zeroes the counters.
 func (p *Phys) ResetStats() { p.stats = Stats{} }
 
+// FrameAllocated reports whether frame i is allocated (neither on the
+// free list nor offline), from the packed bitmap.
+func (p *Phys) FrameAllocated(i int) bool {
+	return p.alloc[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// NextAllocated returns the index of the first allocated frame at or
+// after start, wrapping past the end of the pool, or -1 when no frame
+// is allocated. The scan runs word-at-a-time over the packed bitmap.
+//
+//simvet:hot
+func (p *Phys) NextAllocated(start int) int {
+	w := start >> 6
+	if word := p.alloc[w] &^ (1<<(uint(start)&63) - 1); word != 0 {
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	for i := w + 1; i < len(p.alloc); i++ {
+		if p.alloc[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(p.alloc[i])
+		}
+	}
+	for i := 0; i <= w; i++ {
+		if p.alloc[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(p.alloc[i])
+		}
+	}
+	return -1
+}
+
 func (p *Phys) pushTail(f *Frame, kind FreeKind) {
+	p.alloc[f.ID>>6] &^= 1 << (uint(f.ID) & 63)
 	f.freeKind = kind
 	f.prev = p.tail
 	f.next = NoFrame
@@ -175,6 +214,7 @@ func (p *Phys) pushTail(f *Frame, kind FreeKind) {
 }
 
 func (p *Phys) unlink(f *Frame) {
+	p.alloc[f.ID>>6] |= 1 << (uint(f.ID) & 63)
 	if f.prev != NoFrame {
 		p.frames[f.prev].next = f.next
 	} else {
@@ -310,6 +350,7 @@ func (p *Phys) Offline(n int) int {
 		f.VPN = 0
 		f.Dirty = false
 		f.offline = true
+		p.alloc[f.ID>>6] &^= 1 << (uint(f.ID) & 63)
 		p.offlineIDs = append(p.offlineIDs, f.ID)
 		taken++
 	}

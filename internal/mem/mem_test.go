@@ -330,3 +330,66 @@ func TestFreeKindString(t *testing.T) {
 		}
 	}
 }
+
+// refNextAllocated is a straight per-frame reference for the bitmap
+// scan: first frame at or after start (cyclically) that is neither
+// free-listed nor offline.
+func refNextAllocated(p *Phys, start int) int {
+	n := p.NumFrames()
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		f := p.Frame(FrameID(i))
+		if !f.OnFreeList() && !f.IsOffline() {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestAllocBitmapTracksFrameState(t *testing.T) {
+	// Drive the pool through a random mix of alloc/free/offline/online
+	// and cross-check the packed bitmap against the frame structs (the
+	// source of truth) plus NextAllocated against a linear scan, at
+	// every step. 130 frames spans three bitmap words, so word
+	// boundaries and the wrap-around both get exercised.
+	s := sim.New()
+	p := New(s, 130)
+	o := &fakeOwner{name: "o"}
+	var held []*Frame
+	rng := uint64(42)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 2000; step++ {
+		switch next(5) {
+		case 0, 1:
+			if p.FreeCount() > 0 {
+				f, _ := p.Alloc(nil, o, step)
+				held = append(held, f)
+			}
+		case 2:
+			if len(held) > 0 {
+				i := next(len(held))
+				p.Free(held[i], FreedRelease)
+				held = append(held[:i], held[i+1:]...)
+			}
+		case 3:
+			p.Offline(1 + next(3))
+		case 4:
+			p.Online(1 + next(3))
+		}
+		for i := 0; i < p.NumFrames(); i++ {
+			f := p.Frame(FrameID(i))
+			want := !f.OnFreeList() && !f.IsOffline()
+			if p.FrameAllocated(i) != want {
+				t.Fatalf("step %d: frame %d bitmap %v, frame state %v",
+					step, i, p.FrameAllocated(i), want)
+			}
+		}
+		start := next(p.NumFrames())
+		if got, want := p.NextAllocated(start), refNextAllocated(p, start); got != want {
+			t.Fatalf("step %d: NextAllocated(%d) = %d, reference scan = %d", step, start, got, want)
+		}
+	}
+}

@@ -76,6 +76,25 @@ type Daemon struct {
 
 	// Chaos is the fault injector; nil injects nothing.
 	Chaos *chaos.Injector
+
+	// testVisit, when non-nil (tests only), observes every frame
+	// position the clock hand moves over: scanned=true for frames
+	// examined under the memory lock, false for frames passed over as
+	// unscannable. Concatenated across a run the positions are the
+	// hand's complete cyclic walk, so the wrap-arithmetic regression
+	// test can assert the walk never skips or double-visits a frame.
+	testVisit func(frame int, scanned bool)
+}
+
+// reportSkips feeds n skipped positions starting at from into the test
+// hook; a no-op in production.
+func (d *Daemon) reportSkips(from, n, nf int) {
+	if d.testVisit == nil {
+		return
+	}
+	for k := 0; k < n; k++ {
+		d.testVisit((from+k)%nf, false)
+	}
 }
 
 // NewDaemon creates the paging daemon; Start must be called with the
@@ -207,44 +226,78 @@ func (d *Daemon) askDonors(p *sim.Proc) {
 // scanBatch advances the clock hand over up to Batch frames of a
 // single address space, holding that space's memory lock for the whole
 // batch (the long lock holds that inflate fault service times in the
-// paper).
+// paper). Runs of free or offline frames are skipped word-at-a-time
+// over the allocated bitmap; they still charge the batch budget one
+// position per frame, so a batch covers the same span the per-frame
+// walk did. The hand only ever moves forward, and only past positions
+// this batch is done with: a batch boundary (a frame owned by another
+// address space) leaves it parked on the boundary frame instead of
+// stepping it back with modular arithmetic, so a concurrent hot-unplug
+// can never make the hand retreat over (and re-visit or skip) frames.
+//
 //simvet:hot
 func (d *Daemon) scanBatch(p *sim.Proc) int {
 	nf := d.phys.NumFrames()
-	// Find the first scannable frame.
+	// Find the first frame owned by an address space, starting at the
+	// hand. No virtual time passes in this search, so finding nothing
+	// is a stable outcome for the whole sweep: report no progress and
+	// let the sweep end.
 	var as *vm.AS
-	start := d.hand
-	for i := 0; i < nf; i++ {
-		f := d.phys.Frame(mem.FrameID((start + i) % nf))
-		if f.OnFreeList() || f.Owner == nil {
-			continue
-		}
-		if a, ok := f.Owner.(*vm.AS); ok {
-			as = a
-			d.hand = (start + i) % nf
+	pos := d.hand
+	for tries := 0; tries < nf; tries++ {
+		i := d.phys.NextAllocated(pos)
+		if i < 0 {
 			break
 		}
+		if a, ok := d.phys.Frame(mem.FrameID(i)).Owner.(*vm.AS); ok {
+			d.reportSkips(d.hand, (i-d.hand+nf)%nf, nf)
+			d.hand = i
+			as = a
+			break
+		}
+		pos = (i + 1) % nf
 	}
 	if as == nil {
-		return 1 // nothing scannable; count progress to avoid spinning
+		return 0 // nothing scannable anywhere
 	}
 
 	as.Memlock.Acquire(p)
 	processed := 0
 	for processed < d.cfg.Batch {
-		f := d.phys.Frame(mem.FrameID(d.hand))
-		d.hand = (d.hand + 1) % nf
-		processed++
-		if f.OnFreeList() || f.Owner == nil {
+		i := d.hand
+		if !d.phys.FrameAllocated(i) {
+			// A run of free or offline frames: skip straight to the
+			// next allocated frame (or spend the rest of the budget).
+			gap := d.cfg.Batch - processed
+			if next := d.phys.NextAllocated(i); next >= 0 {
+				if dist := (next - i + nf) % nf; dist > 0 && dist < gap {
+					gap = dist
+				}
+			}
+			d.reportSkips(i, gap, nf)
+			d.hand = (i + gap) % nf
+			processed += gap
+			continue
+		}
+		f := d.phys.Frame(mem.FrameID(i))
+		if f.Owner == nil {
+			// Allocated but anonymous; pass over it.
+			d.reportSkips(i, 1, nf)
+			d.hand = (i + 1) % nf
+			processed++
 			continue
 		}
 		fas, ok := f.Owner.(*vm.AS)
 		if !ok || fas != as {
-			// Crossed into another address space; end the batch so the
-			// next batch takes that space's lock.
-			d.hand = (d.hand - 1 + nf) % nf
-			processed--
+			// Crossed into another address space; end the batch with
+			// the hand parked on the boundary frame so the next batch
+			// starts here under that space's lock.
 			break
+		}
+		d.hand = (i + 1) % nf
+		processed++
+		if d.testVisit != nil {
+			d.testVisit(i, true)
 		}
 		d.Stats.Scanned++
 		d.exec.System(d.cfg.PerPage)
@@ -305,10 +358,12 @@ func (d *Daemon) trimMaxRSS(p *sim.Proc) {
 		d.Stats.Activations++
 		d.Events.Emit(events.DaemonWake, "pageoutd", as.OwnerName(), -1, int64(d.phys.FreeCount()), 1)
 		as.Memlock.Acquire(p)
-		n := as.NumPages()
-		for vpn := 0; vpn < n && as.Resident > as.MaxRSS; vpn++ {
+		// Walk resident pages word-at-a-time over the residency bitmap;
+		// everything it skips is exactly what the per-PTE walk skipped
+		// (the bitmap mirrors PTE.Present).
+		for vpn := as.NextResident(0); vpn >= 0 && as.Resident > as.MaxRSS; vpn = as.NextResident(vpn + 1) {
 			pte := as.PTE(vpn)
-			if !pte.Present || pte.Busy {
+			if pte.Busy {
 				continue
 			}
 			d.exec.System(d.cfg.PerPage)

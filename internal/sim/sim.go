@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -49,56 +48,24 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Millis returns the time as a floating-point number of milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// event is a scheduled occurrence: either a plain callback run inside
-// the event loop, or the resumption of a parked process.
-type event struct {
-	at   Time
-	seq  uint64 // FIFO tie-breaker for simultaneous events
-	fn   func()
-	proc *Proc
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-//simvet:hot
-//simvet:allow SV006 heap growth is amortized; popped slots are reused
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-
-//simvet:hot
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Sim is a discrete-event simulator. The zero value is not usable; use
 // New.
 type Sim struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	yield   chan struct{} // process goroutine -> event loop handoff
 	current *Proc         // process currently executing, nil in event loop
 	nprocs  int           // live (spawned, not finished) processes
 	stopped bool
+	clamps  int64 // past-time schedules clamped to now (caller bugs)
 }
 
 // New creates an empty simulator positioned at time zero.
 func New() *Sim {
-	return &Sim{yield: make(chan struct{})}
+	s := &Sim{yield: make(chan struct{})}
+	s.events.free = -1 // empty free list; first push grows the arena
+	return s
 }
 
 // Now returns the current virtual time.
@@ -106,16 +73,17 @@ func (s *Sim) Now() Time { return s.now }
 
 // At schedules fn to run inside the event loop at time t. Scheduling
 // in the past is an error in the caller; it is clamped to now so the
-// simulation never moves backwards.
+// simulation never moves backwards, and counted (see ClampedSchedules)
+// so the caller bug is observable.
 //
 //simvet:hot
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
+		s.clamps++
 	}
 	s.seq++
-	//simvet:allow SV006 one record per scheduled event; the heap owns it until dispatch
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.events.push(t, s.seq, fn, nil)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -129,11 +97,17 @@ func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 func (s *Sim) scheduleResume(p *Proc, t Time) {
 	if t < s.now {
 		t = s.now
+		s.clamps++
 	}
 	s.seq++
-	//simvet:allow SV006 one record per scheduled resumption; the heap owns it until dispatch
-	heap.Push(&s.events, &event{at: t, seq: s.seq, proc: p})
+	s.events.push(t, s.seq, nil, p)
 }
+
+// ClampedSchedules returns how many times a schedule (At, After, or a
+// process resumption) named a time in the past and was clamped to the
+// current time. A nonzero count means some caller computed a stale
+// deadline; the standard campaigns assert it stays zero.
+func (s *Sim) ClampedSchedules() int64 { return s.clamps }
 
 // Stop makes Run return after the current event completes. Pending
 // events remain queued; Run may be called again to continue.
@@ -146,18 +120,18 @@ func (s *Sim) Stop() { s.stopped = true }
 //simvet:hot
 func (s *Sim) Run(horizon Time) Time {
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		ev := s.events[0]
-		if horizon > 0 && ev.at > horizon {
+	for s.events.len() > 0 && !s.stopped {
+		at := s.events.peekAt()
+		if horizon > 0 && at > horizon {
 			s.now = horizon
 			break
 		}
-		heap.Pop(&s.events)
-		s.now = ev.at
-		if ev.proc != nil {
-			s.dispatch(ev.proc)
+		fn, proc := s.events.pop()
+		s.now = at
+		if proc != nil {
+			s.dispatch(proc)
 		} else {
-			ev.fn()
+			fn()
 		}
 	}
 	return s.now
@@ -182,7 +156,7 @@ func (s *Sim) dispatch(p *Proc) {
 func (s *Sim) Current() *Proc { return s.current }
 
 // Idle reports whether no events remain.
-func (s *Sim) Idle() bool { return len(s.events) == 0 }
+func (s *Sim) Idle() bool { return s.events.len() == 0 }
 
 // LiveProcs returns the number of spawned processes that have not yet
 // finished. Useful for detecting deadlock in tests.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"testing"
 	"testing/quick"
 )
@@ -481,5 +482,108 @@ func TestSpawnAtDelayedStart(t *testing.T) {
 	s.Run(0)
 	if started != 42*Millisecond {
 		t.Fatalf("started at %v, want 42ms", started)
+	}
+}
+
+// refEventHeap is the retired container/heap event queue, kept as a
+// test oracle: the arena 4-ary heap must dispatch any multiset of
+// (time, seq) in exactly the order the old implementation did.
+type refEvent struct {
+	at  Time
+	seq int
+}
+
+type refEventHeap []refEvent
+
+func (h refEventHeap) Len() int { return len(h) }
+func (h refEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refEventHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestEventOrderMatchesRetiredHeap cross-checks the arena queue
+// against the container/heap implementation it replaced: the same
+// multiset of scheduled times, pushed in the same order, must dispatch
+// in the identical sequence.
+func TestEventOrderMatchesRetiredHeap(t *testing.T) {
+	check := func(times []uint16) bool {
+		ref := make(refEventHeap, 0, len(times))
+		heap.Init(&ref)
+		s := New()
+		var got []int
+		for i, tt := range times {
+			at := Time(tt % 64) // force ties
+			heap.Push(&ref, refEvent{at: at, seq: i})
+			i := i
+			s.At(at, func() { got = append(got, i) })
+		}
+		s.Run(0)
+		if len(got) != len(times) {
+			return false
+		}
+		for i := range got {
+			want := heap.Pop(&ref).(refEvent)
+			if got[i] != want.seq {
+				t.Logf("dispatch %d: got seq %d, retired heap says %d", i, got[i], want.seq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleDispatchZeroAllocs pins the arena queue's core promise:
+// once the arena has grown to the workload's high-water mark,
+// scheduling and dispatching events allocates nothing.
+func TestScheduleDispatchZeroAllocs(t *testing.T) {
+	s := New()
+	fired := 0
+	fn := func() { fired++ }
+	// Warm the arena past any capacity this test will need.
+	for i := 0; i < 256; i++ {
+		s.At(Time(i), fn)
+	}
+	s.Run(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			s.At(s.Now()+Time(i), fn)
+		}
+		s.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+dispatch allocated %.1f times per run, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("no events fired")
+	}
+}
+
+// TestClampCounter pins the clamp observability contract: scheduling
+// in the past is executed at "now" and counted, never silent.
+func TestClampCounter(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		s.At(50, func() {}) // stale deadline: clamped to now=100
+	})
+	s.Run(0)
+	if s.ClampedSchedules() != 1 {
+		t.Fatalf("ClampedSchedules = %d, want 1", s.ClampedSchedules())
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clamped event ran at %v, want 100", s.Now())
 	}
 }

@@ -16,6 +16,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memhogs/internal/disk"
 	"memhogs/internal/events"
@@ -185,6 +186,14 @@ type AS struct {
 	Resident int // resident page count
 	MaxRSS   int // trim threshold (frames); default: no limit
 
+	// resBits/valBits are packed bitmaps mirroring the Present and
+	// Valid bits of the page table, one bit per vpn, so daemons can
+	// scan residency word-at-a-time instead of walking PTE structs.
+	// The PTE array stays the source of truth (the audit cross-checks
+	// bitmap against PTEs); every Present/Valid mutation updates both.
+	resBits []uint64
+	valBits []uint64
+
 	// Memlock is the per-AS memory-system lock contended by fault
 	// handling, the paging daemon and the releaser.
 	Memlock *sim.Lock
@@ -224,6 +233,8 @@ func NewAS(name string, id int, npages int, swapBase int64, phys *mem.Phys, disk
 		name:     name,
 		id:       id,
 		ptes:     make([]PTE, npages),
+		resBits:  make([]uint64, (npages+63)/64),
+		valBits:  make([]uint64, (npages+63)/64),
 		MaxRSS:   phys.NumFrames() + 1, // effectively unlimited
 		Memlock:  sim.NewLock(name + ".memlock"),
 		phys:     phys,
@@ -261,6 +272,61 @@ func (as *AS) NumPages() int { return len(as.ptes) }
 
 // PTE returns the page-table entry for vpn (for daemons and tests).
 func (as *AS) PTE(vpn int) *PTE { return &as.ptes[vpn] }
+
+// setPresent/setValid mirror the named PTE bit into the packed bitmap
+// alongside the field write. All Present/Valid mutations go through
+// these so bitmap and page table cannot drift (the audit checks).
+//
+//simvet:hot
+func (as *AS) setPresent(pte *PTE, vpn int, v bool) {
+	pte.Present = v
+	if v {
+		as.resBits[vpn>>6] |= 1 << (uint(vpn) & 63)
+	} else {
+		as.resBits[vpn>>6] &^= 1 << (uint(vpn) & 63)
+	}
+}
+
+//simvet:hot
+func (as *AS) setValid(pte *PTE, vpn int, v bool) {
+	pte.Valid = v
+	if v {
+		as.valBits[vpn>>6] |= 1 << (uint(vpn) & 63)
+	} else {
+		as.valBits[vpn>>6] &^= 1 << (uint(vpn) & 63)
+	}
+}
+
+// ResidentBit reports vpn's bit in the packed residency bitmap (for
+// the audit's bitmap-vs-PTE cross-check).
+func (as *AS) ResidentBit(vpn int) bool {
+	return as.resBits[vpn>>6]&(1<<(uint(vpn)&63)) != 0
+}
+
+// ValidBit reports vpn's bit in the packed validity bitmap.
+func (as *AS) ValidBit(vpn int) bool {
+	return as.valBits[vpn>>6]&(1<<(uint(vpn)&63)) != 0
+}
+
+// NextResident returns the first resident vpn at or after from, or -1
+// when none remains, scanning the packed bitmap word-at-a-time.
+//
+//simvet:hot
+func (as *AS) NextResident(from int) int {
+	if from >= len(as.ptes) {
+		return -1
+	}
+	w := from >> 6
+	if word := as.resBits[w] &^ (1<<(uint(from)&63) - 1); word != 0 {
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	for i := w + 1; i < len(as.resBits); i++ {
+		if as.resBits[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(as.resBits[i])
+		}
+	}
+	return -1
+}
 
 // beginPageIn/endPageIn bracket a page-in operation; they are always
 // paired with setting/clearing the PTE's Busy bit.
@@ -368,7 +434,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 			// With hardware reference bits the daemon's scan just
 			// cleared a bit the hardware sets again for free: no
 			// software fault happens.
-			pte.Valid = true
+			as.setValid(pte, vpn, true)
 			pte.Why = InvalidNone
 			if as.watcher != nil {
 				as.watcher.Revalidate(vpn)
@@ -385,7 +451,7 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		}
 		as.Events.Emit(events.FaultSoft, as.name, "", vpn, daemonCaused, 0)
 		x.System(as.params.SoftFaultTime)
-		pte.Valid = true
+		as.setValid(pte, vpn, true)
 		pte.Why = InvalidNone
 		if as.watcher != nil {
 			as.watcher.Revalidate(vpn)
@@ -397,8 +463,8 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		as.Events.Emit(events.FaultRescue, as.name, "", vpn, 0, 0)
 		x.System(as.params.RescueTime)
 		as.phys.Rescue(as.phys.Frame(pte.Frame))
-		pte.Present = true
-		pte.Valid = true
+		as.setPresent(pte, vpn, true)
+		as.setValid(pte, vpn, true)
 		pte.Why = InvalidNone
 		as.grew()
 		as.notifyIn(vpn)
@@ -446,8 +512,8 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		relock := as.Memlock.Acquire(p)
 		x.Account(BucketStallLock, relock)
 		pte.Frame = frame.ID
-		pte.Present = true
-		pte.Valid = true
+		as.setPresent(pte, vpn, true)
+		as.setValid(pte, vpn, true)
 		pte.Busy = false
 		as.endPageIn(vpn)
 		pte.Why = InvalidNone
@@ -487,8 +553,8 @@ func (as *AS) readahead(vpn int) {
 		Op: disk.Read,
 		Done: func() {
 			pte.Frame = frame.ID
-			pte.Present = true
-			pte.Valid = false
+			as.setPresent(pte, vpn, true)
+			as.setValid(pte, vpn, false)
 			pte.Why = InvalidPrefetch
 			pte.Busy = false
 			as.endPageIn(vpn)
@@ -542,8 +608,8 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 		// Rescue from the free list; cheap, no I/O.
 		x.System(as.params.RescueTime)
 		as.phys.Rescue(as.phys.Frame(pte.Frame))
-		pte.Present = true
-		pte.Valid = false
+		as.setPresent(pte, vpn, true)
+		as.setValid(pte, vpn, false)
 		pte.Why = InvalidPrefetch
 		as.grew()
 		as.Stats.RescueFaults++
@@ -594,8 +660,8 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 	wait = as.Memlock.Acquire(p)
 	x.Account(BucketStallLock, wait)
 	pte.Frame = frame.ID
-	pte.Present = true
-	pte.Valid = false // not validated; no TLB entry
+	as.setPresent(pte, vpn, true)
+	as.setValid(pte, vpn, false) // not validated; no TLB entry
 	pte.Why = InvalidPrefetch
 	pte.Busy = false
 	as.endPageIn(vpn)
@@ -615,7 +681,7 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 func (as *AS) InvalidateForRelease(vpn int) {
 	pte := &as.ptes[vpn]
 	if pte.Present && pte.Valid {
-		pte.Valid = false
+		as.setValid(pte, vpn, false)
 		pte.Why = InvalidRelease
 	}
 }
@@ -639,8 +705,8 @@ func (as *AS) TryReclaim(vpn int, kind mem.FreeKind) (freed bool, dirty bool) {
 	}
 	frame := as.phys.Frame(pte.Frame)
 	dirty = frame.Dirty
-	pte.Present = false
-	pte.Valid = false
+	as.setPresent(pte, vpn, false)
+	as.setValid(pte, vpn, false)
 	pte.Why = InvalidNone
 	as.Resident--
 	// Identity stays in pte.Frame and the frame itself, enabling
@@ -662,7 +728,7 @@ func (as *AS) TryReclaim(vpn int, kind mem.FreeKind) (freed bool, dirty bool) {
 func (as *AS) ClearValid(vpn int, why InvalidReason) bool {
 	pte := &as.ptes[vpn]
 	if pte.Present && pte.Valid && !pte.Busy {
-		pte.Valid = false
+		as.setValid(pte, vpn, false)
 		pte.Why = why
 		return true
 	}

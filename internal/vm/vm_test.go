@@ -510,3 +510,61 @@ func TestOutcomeStrings(t *testing.T) {
 		t.Fatal("outcome strings wrong")
 	}
 }
+
+func TestResidencyBitmapsMirrorPTEs(t *testing.T) {
+	// Walk an address space through faults, invalidations, reclaims,
+	// releases, rescues, and prefetches, checking after each stage that
+	// the packed residency/validity bitmaps mirror the PTE array (the
+	// source of truth) and that NextResident agrees with a linear scan.
+	r := newRig(64, 200)
+	check := func(stage string) {
+		t.Helper()
+		for vpn := 0; vpn < r.as.NumPages(); vpn++ {
+			pte := r.as.PTE(vpn)
+			if r.as.ResidentBit(vpn) != pte.Present {
+				t.Fatalf("%s: vpn %d residency bit %v, PTE present %v",
+					stage, vpn, r.as.ResidentBit(vpn), pte.Present)
+			}
+			if r.as.ValidBit(vpn) != pte.Valid {
+				t.Fatalf("%s: vpn %d validity bit %v, PTE valid %v",
+					stage, vpn, r.as.ValidBit(vpn), pte.Valid)
+			}
+		}
+		for from := 0; from <= r.as.NumPages(); from += 7 {
+			want := -1
+			for v := from; v < r.as.NumPages(); v++ {
+				if r.as.PTE(v).Present {
+					want = v
+					break
+				}
+			}
+			if got := r.as.NextResident(from); got != want {
+				t.Fatalf("%s: NextResident(%d) = %d, reference scan = %d", stage, from, got, want)
+			}
+		}
+	}
+	r.inProc(t, func(x *testExec) {
+		for vpn := 0; vpn < 40; vpn++ {
+			r.as.Touch(x, vpn, vpn%3 == 0)
+		}
+		check("after faults")
+		for vpn := 0; vpn < 40; vpn += 2 {
+			r.as.ClearValid(vpn, InvalidDaemon)
+		}
+		check("after clock invalidation")
+		for vpn := 0; vpn < 20; vpn += 2 {
+			r.as.TryReclaim(vpn, mem.FreedDaemon)
+		}
+		check("after daemon steals")
+		r.as.Touch(x, 2, false) // rescue a stolen page
+		check("after rescue")
+		r.as.InvalidateForRelease(31)
+		r.as.TryReclaim(31, mem.FreedRelease)
+		check("after release")
+		r.as.Prefetch(x, 150)
+		check("after prefetch")
+		r.as.Touch(x, 150, false)
+		check("after prefetched page referenced")
+	})
+	check("after run")
+}

@@ -1,0 +1,61 @@
+package memhogs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+)
+
+// TestTraceDigests pins the flight-recorder trace bytes for every
+// benchmark × version on the quick machine: the sha256 of each
+// `memhog -quick -quiet trace <bench> <version>` output must match
+// testdata/trace_digests.json, captured before the event-queue and
+// bitmap rebuilds. Any divergence means a perf refactor changed
+// simulated behavior, not just speed. After an intentional behavior
+// change, regenerate the file by hashing fresh Trace output for all
+// 24 cells.
+func TestTraceDigests(t *testing.T) {
+	data, err := os.ReadFile("testdata/trace_digests.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	versions := map[string]Version{
+		"O": Original, "P": PrefetchOnly, "R": Aggressive, "B": Buffered,
+	}
+	cells := make([]string, 0, len(want))
+	for cell := range want {
+		cells = append(cells, cell)
+	}
+	sort.Strings(cells)
+	if len(cells) != 24 {
+		t.Fatalf("digest file has %d cells, want 24 (6 benchmarks x 4 versions)", len(cells))
+	}
+	m := TestMachine()
+	for _, cell := range cells {
+		var bench, ver string
+		for i := range cell {
+			if cell[i] == '/' {
+				bench, ver = cell[:i], cell[i+1:]
+			}
+		}
+		v, ok := versions[ver]
+		if !ok {
+			t.Fatalf("bad cell key %q", cell)
+		}
+		tr, err := Trace(bench, v, m, 0, -1)
+		if err != nil {
+			t.Fatalf("%s: %v", cell, err)
+		}
+		sum := sha256.Sum256(tr.ChromeJSON)
+		if got := hex.EncodeToString(sum[:]); got != want[cell] {
+			t.Errorf("%s: trace bytes changed (sha256 %s, want %s)", cell, got, want[cell])
+		}
+	}
+}
