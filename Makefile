@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet simvet certify lint bench bench-compare examples experiments verify golden trace chaos fuzz clean
+.PHONY: all build test vet hogvet simvet certify lint bench bench-compare examples experiments tenants verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -78,6 +78,15 @@ examples:
 # byte-identical output.
 experiments:
 	go run ./cmd/memhog -j 0 all
+
+# Multi-tenant smoke: the NUMA-sharded campaign on the scaled machine
+# must produce byte-identical tables at any worker count.
+tenants: build
+	@go run ./cmd/memhog -quick -quiet -j 1 tenants > /tmp/memhog-tenants-j1.txt
+	@go run ./cmd/memhog -quick -quiet -j 4 tenants > /tmp/memhog-tenants-j4.txt
+	@cmp /tmp/memhog-tenants-j1.txt /tmp/memhog-tenants-j4.txt
+	@cat /tmp/memhog-tenants-j1.txt
+	@echo "tenants: deterministic at any -j"
 
 # Check the paper's claims at full scale; exits non-zero on failure.
 verify:

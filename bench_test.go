@@ -574,9 +574,60 @@ func BenchmarkSimMatrix(b *testing.B) {
 			})
 		}
 	}
+	// The multi-tenant cells: the NUMA-sharded kernel (per-node clock
+	// daemons, balancer) plus the open-loop job stream, with matvec as
+	// the hog population.
+	for _, mode := range experiments.Modes {
+		mode := mode
+		b.Run("tenants/"+mode.String(), func(b *testing.B) {
+			spec, err := workload.ScaledByName("matvec")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last simCell
+			for i := 0; i < b.N; i++ {
+				var rec *events.Recorder
+				cfg := driver.DefaultTenantConfig(mode)
+				cfg.Kernel = kernel.TestConfig()
+				cfg.Kernel.Nodes = 4
+				cfg.JobPages = 16
+				cfg.MeanInterarrival = 100 * sim.Millisecond
+				cfg.Horizon = 3 * sim.Second
+				cfg.OnSystem = func(sys *kernel.System) {
+					rec = events.New(sys.Sim, 1<<16)
+					sys.SetEvents(rec)
+				}
+				start := time.Now()
+				if _, err := driver.RunTenants(spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+				wall := time.Since(start).Seconds()
+				var emitted int64
+				counts := rec.Counts()
+				for k := events.Kind(0); k < events.KindCount; k++ {
+					emitted += counts.Get(k)
+				}
+				last = simCell{
+					Bench:      "tenants",
+					Version:    mode.String(),
+					Events:     emitted,
+					VirtualSec: cfg.Horizon.Seconds(),
+					WallSec:    wall,
+				}
+				if wall > 0 {
+					last.EventsPerSec = float64(emitted) / wall
+					last.VirtualPerWall = last.VirtualSec / wall
+				}
+				b.ReportMetric(last.EventsPerSec, "ev/s")
+				b.ReportMetric(last.VirtualPerWall, "vsec/s")
+			}
+			cells = append(cells, last)
+		})
+	}
+
 	// A -bench filter that selects only some cells must not publish a
 	// partial artifact.
-	if len(cells) != len(workload.AllScaled())*len(experiments.Modes) {
+	if len(cells) != (len(workload.AllScaled())+1)*len(experiments.Modes) {
 		return
 	}
 	data, err := json.MarshalIndent(cells, "", "  ")

@@ -9,14 +9,19 @@
 // Both files are BenchmarkSimMatrix artifacts: one row per benchmark ×
 // version with events/sec and virtual-seconds/wall-second. Every cell
 // present in the baseline must be present in the fresh file (a partial
-// run is an error, not a pass). The exit status is non-zero when any
-// cell's events/sec falls more than -max-regress below its baseline.
+// run is an error, not a pass), and a baseline cell without a positive
+// events/sec is a corrupt artifact, not a regression. Cells only in
+// the fresh file are reported — they mean the baseline needs
+// regenerating — but do not fail the run. The exit status is non-zero
+// when any cell's events/sec falls more than -max-regress below its
+// baseline.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -47,6 +52,77 @@ func load(path string) (map[string]cell, error) {
 	return m, nil
 }
 
+func sortedKeys(m map[string]cell) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// compare diffs the fresh artifact against the baseline, writing the
+// report to out and diagnostics to errOut, and returns the process
+// exit code: 0 clean, 1 regression or missing cells, 2 corrupt
+// baseline (a cell without a positive events/sec cannot anchor a
+// ratio — the old behavior quietly marked such cells REGRESSED).
+func compare(base, now map[string]cell, maxRegress float64, out, errOut io.Writer) int {
+	var regressions, missing, corrupt []string
+	doubled := 0
+	keys := sortedKeys(base)
+	fmt.Fprintf(out, "%-12s %14s %14s %8s\n", "cell", "base ev/s", "fresh ev/s", "ratio")
+	for _, k := range keys {
+		b := base[k]
+		if !(b.EventsPerSec > 0) { // catches zero, negative and NaN
+			corrupt = append(corrupt, k)
+			continue
+		}
+		f, ok := now[k]
+		if !ok {
+			missing = append(missing, k)
+			continue
+		}
+		ratio := f.EventsPerSec / b.EventsPerSec
+		mark := ""
+		if ratio < 1-maxRegress {
+			mark = "  REGRESSED"
+			regressions = append(regressions, k)
+		}
+		if ratio >= 2 {
+			doubled++
+		}
+		fmt.Fprintf(out, "%-12s %14.0f %14.0f %7.2fx%s\n", k, b.EventsPerSec, f.EventsPerSec, ratio, mark)
+	}
+	fmt.Fprintf(out, "benchdiff: %d/%d cells at >= 2x baseline throughput\n", doubled, len(keys))
+
+	var freshOnly []string
+	for _, k := range sortedKeys(now) {
+		if _, ok := base[k]; !ok {
+			freshOnly = append(freshOnly, k)
+		}
+	}
+	if len(freshOnly) > 0 {
+		fmt.Fprintf(out, "benchdiff: %d fresh cells have no baseline (regenerate it): %v\n",
+			len(freshOnly), freshOnly)
+	}
+
+	switch {
+	case len(corrupt) > 0:
+		fmt.Fprintf(errOut, "benchdiff: baseline has %d cells without a positive events/sec: %v\n",
+			len(corrupt), corrupt)
+		return 2
+	case len(missing) > 0:
+		fmt.Fprintf(errOut, "benchdiff: fresh artifact is missing %d baseline cells: %v\n",
+			len(missing), missing)
+		return 1
+	case len(regressions) > 0:
+		fmt.Fprintf(errOut, "benchdiff: %d cells regressed more than %.0f%%: %v\n",
+			len(regressions), maxRegress*100, regressions)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
 	fresh := flag.String("fresh", "BENCH_sim.json", "fresh BenchmarkSimMatrix artifact")
@@ -63,46 +139,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-
-	keys := make([]string, 0, len(base))
-	for k := range base {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	var regressions, missing []string
-	doubled := 0
-	fmt.Printf("%-12s %14s %14s %8s\n", "cell", "base ev/s", "fresh ev/s", "ratio")
-	for _, k := range keys {
-		b := base[k]
-		f, ok := now[k]
-		if !ok {
-			missing = append(missing, k)
-			continue
-		}
-		ratio := 0.0
-		if b.EventsPerSec > 0 {
-			ratio = f.EventsPerSec / b.EventsPerSec
-		}
-		mark := ""
-		if ratio < 1-*maxRegress {
-			mark = "  REGRESSED"
-			regressions = append(regressions, k)
-		}
-		if ratio >= 2 {
-			doubled++
-		}
-		fmt.Printf("%-12s %14.0f %14.0f %7.2fx%s\n", k, b.EventsPerSec, f.EventsPerSec, ratio, mark)
-	}
-	fmt.Printf("benchdiff: %d/%d cells at >= 2x baseline throughput\n", doubled, len(keys))
-
-	if len(missing) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: fresh artifact is missing %d baseline cells: %v\n", len(missing), missing)
-		os.Exit(1)
-	}
-	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d cells regressed more than %.0f%%: %v\n",
-			len(regressions), *maxRegress*100, regressions)
-		os.Exit(1)
-	}
+	os.Exit(compare(base, now, *maxRegress, os.Stdout, os.Stderr))
 }

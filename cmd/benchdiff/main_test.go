@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkcell(bench, version string, evPerSec float64) cell {
+	return cell{Bench: bench, Version: version, Events: 1000, WallSec: 1, EventsPerSec: evPerSec}
+}
+
+func runCompare(t *testing.T, base, now []cell, maxRegress float64) (int, string, string) {
+	t.Helper()
+	bm := map[string]cell{}
+	for _, c := range base {
+		bm[c.Bench+"/"+c.Version] = c
+	}
+	nm := map[string]cell{}
+	for _, c := range now {
+		nm[c.Bench+"/"+c.Version] = c
+	}
+	var out, errOut strings.Builder
+	code := compare(bm, nm, maxRegress, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCompareClean(t *testing.T) {
+	code, out, errOut := runCompare(t,
+		[]cell{mkcell("matvec", "O", 100), mkcell("matvec", "R", 200)},
+		[]cell{mkcell("matvec", "O", 110), mkcell("matvec", "R", 190)},
+		0.25)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut)
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Fatalf("clean diff flagged a regression:\n%s", out)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	code, out, errOut := runCompare(t,
+		[]cell{mkcell("matvec", "O", 100)},
+		[]cell{mkcell("matvec", "O", 50)},
+		0.25)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(errOut, "regressed") {
+		t.Fatalf("regression not reported:\nout: %s\nerr: %s", out, errOut)
+	}
+}
+
+func TestCompareMissingCell(t *testing.T) {
+	code, _, errOut := runCompare(t,
+		[]cell{mkcell("matvec", "O", 100), mkcell("matvec", "R", 100)},
+		[]cell{mkcell("matvec", "O", 100)},
+		0.25)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "missing") || !strings.Contains(errOut, "matvec/R") {
+		t.Fatalf("missing cell not reported: %s", errOut)
+	}
+}
+
+func TestCompareZeroBaselineIsCorruptNotRegressed(t *testing.T) {
+	// The old code divided by the baseline without a guard: a zero
+	// events/sec baseline produced ratio 0 and the cell was reported
+	// REGRESSED — a data problem dressed up as a perf problem. It must
+	// be a distinct, non-regression failure.
+	code, out, errOut := runCompare(t,
+		[]cell{mkcell("matvec", "O", 0), mkcell("matvec", "R", 100)},
+		[]cell{mkcell("matvec", "O", 100), mkcell("matvec", "R", 100)},
+		0.25)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Fatalf("corrupt baseline reported as regression:\n%s", out)
+	}
+	if !strings.Contains(errOut, "positive events/sec") || !strings.Contains(errOut, "matvec/O") {
+		t.Fatalf("corrupt cell not identified: %s", errOut)
+	}
+}
+
+func TestCompareFreshOnlyCellsReported(t *testing.T) {
+	// New benchmark cells with no baseline yet must be surfaced (the
+	// baseline needs regenerating) without failing the run.
+	code, out, _ := runCompare(t,
+		[]cell{mkcell("matvec", "O", 100)},
+		[]cell{mkcell("matvec", "O", 100), mkcell("tenants", "B", 500)},
+		0.25)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "no baseline") || !strings.Contains(out, "tenants/B") {
+		t.Fatalf("fresh-only cell not reported:\n%s", out)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`[
+		{"bench":"matvec","version":"O","events":10,"wall_sec":1,"events_per_sec":10}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := m["matvec/O"]
+	if !ok || c.EventsPerSec != 10 {
+		t.Fatalf("load = %+v", m)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("load of absent file did not error")
+	}
+}

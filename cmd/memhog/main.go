@@ -73,6 +73,7 @@ var commands = []command{
 	{"chaos", "<bench> [O|P|R|B] [-seed N] [-faults class|plan]", "deterministic fault injection with continuous invariant auditing", (*app).cmdChaos},
 	{"chaosmatrix", "[-seed N]", "benchmarks × versions × fault classes campaign; exit 1 if any cell wedges or fails its audits", (*app).cmdChaosMatrix},
 	{"sensitivity", "<bench>", "memory-size sweep (P vs B crossover)", (*app).cmdSensitivity},
+	{"tenants", "[bench...]", "NUMA-sharded node: hogs vs open-loop job stream, response-time tail", (*app).cmdTenants},
 	{"duel", "<a> <b>", "two memory hogs sharing the machine", (*app).cmdDuel},
 	{"verify", "", "check the paper's claims, exit 1 on failure", (*app).cmdVerify},
 	{"list", "", "benchmark names", (*app).cmdList},
@@ -220,6 +221,18 @@ func (a *app) cmdSensitivity() {
 		fatal("sensitivity: need a benchmark name")
 	}
 	out, err := a.campaign.Sensitivity(flag.Arg(1))
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(out)
+}
+
+func (a *app) cmdTenants() {
+	var benches []string
+	for i := 1; i < flag.NArg(); i++ {
+		benches = append(benches, flag.Arg(i))
+	}
+	out, err := a.campaign.Tenants(benches...)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -131,6 +131,11 @@ type Fault struct {
 	At    sim.Time
 	After sim.Time
 	Until sim.Time
+
+	// Node scopes a timed mem-shrink/grow fault to one memory node of
+	// a sharded pool: 0 means unscoped (the historical whole-machine
+	// behavior), k+1 targets node k (plan-string option "node=k").
+	Node int
 }
 
 // Plan is a complete fault schedule: pure, replayable data.
@@ -289,8 +294,11 @@ const shrinkRetry = 10 * sim.Millisecond
 // ScheduleMem arms the plan's timed mem-shrink/grow faults against
 // phys. maxOffline caps the total frames ever offline at once so a
 // shrink cannot wedge the machine; kick (may be nil) asks the paging
-// daemon for memory when a shrink needs more free frames.
-func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func()) {
+// daemons for memory when a shrink needs more free frames — it is
+// called with the targeted node index, or -1 for an unscoped fault
+// (kick whichever daemons the kernel sees fit). A fault with Node set
+// unplugs/replugs only that node's region.
+func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func(node int)) {
 	if in == nil {
 		return
 	}
@@ -304,6 +312,12 @@ func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func()) {
 		if at == 0 {
 			at = f.After
 		}
+		// node < 0 means whole-machine; otherwise the fault is scoped
+		// to one memory region (clamped so a stale plan cannot panic).
+		node := f.Node - 1
+		if node >= phys.Nodes() {
+			node = phys.Nodes() - 1
+		}
 		switch f.Site {
 		case MemShrink:
 			remaining := int(mag)
@@ -315,7 +329,12 @@ func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func()) {
 				if remaining <= 0 {
 					return
 				}
-				got := phys.Offline(remaining)
+				var got int
+				if node >= 0 {
+					got = phys.OfflineNode(node, remaining)
+				} else {
+					got = phys.Offline(remaining)
+				}
 				remaining -= got
 				if got > 0 {
 					in.inject(MemShrink, "chaos", -1, int64(got))
@@ -324,7 +343,7 @@ func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func()) {
 					// Not enough free frames yet: ask for memory and
 					// take the rest as it is freed.
 					if kick != nil {
-						kick()
+						kick(node)
 					}
 					in.sim.After(shrinkRetry, step)
 				}
@@ -332,7 +351,12 @@ func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func()) {
 			in.sim.At(at, step)
 		case MemGrow:
 			in.sim.At(at, func() {
-				got := phys.Online(int(mag))
+				var got int
+				if node >= 0 {
+					got = phys.OnlineNode(node, int(mag))
+				} else {
+					got = phys.Online(int(mag))
+				}
 				if got > 0 {
 					in.inject(MemGrow, "chaos", -1, int64(got))
 				}

@@ -219,7 +219,7 @@ func TestScheduleMemShrinkGrow(t *testing.T) {
 		{Site: MemGrow, At: 15 * sim.Millisecond, Mag: 16},
 	}})
 	kicked := 0
-	in.ScheduleMem(phys, 32, func() { kicked++ })
+	in.ScheduleMem(phys, 32, func(int) { kicked++ })
 	s.At(10*sim.Millisecond, func() {
 		if phys.OfflineCount() != 16 {
 			t.Errorf("at 10ms: %d offline, want 16", phys.OfflineCount())

@@ -18,8 +18,9 @@ import (
 // entry is a site name optionally followed by ':' and ','-separated
 // k=v options: p (probability), mag (magnitude: bare integer, or a
 // duration like 250us/5ms/1.5s for duration sites), at (timed sites),
-// after/until (probabilistic window). ParsePlan(p.String()) is the
-// identity for any valid plan.
+// after/until (probabilistic window), node (scopes a timed
+// mem-shrink/grow to one memory node of a sharded pool).
+// ParsePlan(p.String()) is the identity for any valid plan.
 
 // String encodes the plan in the parseable replay format.
 func (p Plan) String() string {
@@ -61,6 +62,9 @@ func (f Fault) String() string {
 	}
 	if f.Until != 0 {
 		opts = append(opts, "until="+formatDur(f.Until))
+	}
+	if f.Node != 0 {
+		opts = append(opts, "node="+strconv.Itoa(f.Node-1))
 	}
 	if len(opts) == 0 {
 		return f.Site.String()
@@ -183,6 +187,12 @@ func parseFault(s string) (Fault, error) {
 				}
 				f.Mag = mag
 			}
+		case "node":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Fault{}, fmt.Errorf("chaos: %s: bad node %q", name, v)
+			}
+			f.Node = n + 1
 		case "at", "after", "until":
 			d, err := parseDur(v)
 			if err != nil {

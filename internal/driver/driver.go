@@ -119,6 +119,7 @@ type Result struct {
 	RT       rt.Stats
 	Daemon   pageout.DaemonStats
 	Releaser pageout.ReleaserStats
+	Balancer pageout.BalancerStats
 	Phys     mem.Stats
 
 	CompileStats compiler.Stats
@@ -232,7 +233,7 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 		if maxOff < 0 {
 			maxOff = 0
 		}
-		inj.ScheduleMem(sys.Phys, maxOff, sys.Daemon.Kick)
+		inj.ScheduleMem(sys.Phys, maxOff, sys.KickDaemons)
 		if cfg.AuditOnFault {
 			inj.OnFault = func(chaos.Site) { audit() }
 		}
@@ -299,8 +300,9 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 	}
 	res.RT = layer.Stats
 	res.Disk = sys.Disks.Stats()
-	res.Daemon = sys.Daemon.Stats
-	res.Releaser = sys.Releaser.Stats
+	res.Daemon = sys.DaemonStats()
+	res.Releaser = sys.ReleaserStats()
+	res.Balancer = sys.BalancerStats()
 	res.Phys = sys.Phys.Stats()
 	res.CompileStats = comp.Stats
 	res.DataBytes = img.DataBytes

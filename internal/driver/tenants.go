@@ -1,0 +1,287 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"memhogs/internal/chaos"
+	"memhogs/internal/compiler"
+	"memhogs/internal/kernel"
+	"memhogs/internal/mem"
+	"memhogs/internal/pageout"
+	"memhogs/internal/pdpm"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/workload"
+)
+
+// TenantConfig describes one multi-tenant run: a population of memory
+// hogs (the out-of-core benchmark, looped) colliding with an open-loop
+// Poisson arrival process of short interactive jobs on a NUMA-sharded
+// machine. The deliverable is the job response-time tail (p50/p99/
+// p999), not a single-run mean — the metric reclaim sharding is
+// supposed to protect.
+type TenantConfig struct {
+	Kernel kernel.Config // set Kernel.Nodes for a sharded machine
+	Mode   rt.Mode       // hog program version (O, P, R, B)
+	RT     rt.Config
+
+	// Hogs is how many copies of the benchmark run concurrently, each
+	// repeat-looping until the horizon.
+	Hogs int
+
+	// Params override the hog spec's full-size bindings (nil = full).
+	Params map[string]int64
+
+	// JobPages and JobPerPage shape one interactive job: it touches
+	// JobPages fresh pages, charging JobPerPage of compute per page,
+	// then exits. Response time = completion - arrival.
+	JobPages   int
+	JobPerPage sim.Time
+
+	// MeanInterarrival is the open-loop arrival process's mean gap;
+	// arrivals are exponential draws from a dedicated sim.Rand stream
+	// seeded by Seed, so the schedule is deterministic and independent
+	// of how loaded the machine gets (jobs arrive whether or not
+	// earlier jobs finished — that is what makes the tail honest).
+	MeanInterarrival sim.Time
+
+	Horizon sim.Time
+	Seed    uint64
+
+	// Cache, if non-nil, memoizes hog compilation across runs.
+	Cache *CompileCache
+
+	// OnSystem, Chaos, AuditEvery, AuditOnFault mirror RunConfig.
+	OnSystem     func(*kernel.System)
+	Chaos        *chaos.Plan
+	AuditEvery   sim.Time
+	AuditOnFault bool
+}
+
+// DefaultTenantConfig returns the paper-scale machine sharded into 4
+// nodes with two hogs and a 200 ms mean job arrival gap.
+func DefaultTenantConfig(mode rt.Mode) TenantConfig {
+	kcfg := kernel.DefaultConfig()
+	kcfg.Nodes = 4
+	return TenantConfig{
+		Kernel:           kcfg,
+		Mode:             mode,
+		RT:               rt.DefaultConfig(mode),
+		Hogs:             2,
+		JobPages:         32,
+		JobPerPage:       15 * sim.Microsecond,
+		MeanInterarrival: 200 * sim.Millisecond,
+		Horizon:          60 * sim.Second,
+		Seed:             1,
+	}
+}
+
+// maxTenantJobs bounds the arrival schedule so a degenerate
+// mean-interarrival cannot enqueue unbounded work.
+const maxTenantJobs = 4096
+
+// TenantResult is everything one multi-tenant run produced.
+type TenantResult struct {
+	Bench string
+	Mode  rt.Mode
+	Nodes int
+	Hogs  int
+
+	HogRuns   int // completed hog iterations across the population
+	Arrived   int // jobs whose arrival fired before the horizon
+	Completed int // jobs that finished before the run ended
+
+	// Response-time percentiles over completed jobs (nearest-rank).
+	P50, P99, P999, Max sim.Time
+
+	Phys     mem.Stats
+	Daemon   pageout.DaemonStats
+	Releaser pageout.ReleaserStats
+	Balancer pageout.BalancerStats
+
+	Chaos      chaos.Counts
+	AuditTicks int
+}
+
+// Percentile returns the q-quantile (0 < q <= 1) of an ascending
+// sorted slice by the nearest-rank definition sorted[ceil(q*n)-1] —
+// p999 of 1000 samples is the 1000th, of 2000 the 1999th. Zero
+// samples yield zero.
+func Percentile(sorted []sim.Time, q float64) sim.Time {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(float64(n)*q + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// RunTenants executes one multi-tenant experiment.
+func RunTenants(spec *workload.Spec, cfg TenantConfig) (*TenantResult, error) {
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Hogs < 0 {
+		return nil, fmt.Errorf("tenants: negative hog count %d", cfg.Hogs)
+	}
+	if cfg.JobPages <= 0 || cfg.MeanInterarrival <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("tenants: JobPages, MeanInterarrival and Horizon must be positive")
+	}
+	params := cfg.Params
+	if params == nil {
+		params = spec.Params
+	}
+	tgt := compiler.DefaultTarget(cfg.Kernel.PageSize, cfg.Kernel.UserMemPages)
+	tgt.Prefetch = cfg.Mode.UsesPrefetch()
+	tgt.Release = cfg.Mode.UsesRelease()
+	var comp *compiler.Compiled
+	var err error
+	if cfg.Cache != nil {
+		comp, err = cfg.Cache.Compile(spec, params, tgt)
+	} else {
+		comp, err = compiler.Compile(spec.Program(params), tgt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", spec.Name, err)
+	}
+
+	sys := kernel.NewSystem(cfg.Kernel)
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
+
+	var auditErr error
+	audit := func() {
+		if auditErr != nil {
+			return
+		}
+		if err := sys.Audit(); err != nil {
+			auditErr = fmt.Errorf("at t=%v: %w", sys.Now(), err)
+			sys.Sim.Stop()
+		}
+	}
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		inj = chaos.NewInjector(sys.Sim, sys.Events, *cfg.Chaos)
+		sys.SetChaos(inj)
+		maxOff := cfg.Kernel.UserMemPages - 2*cfg.Kernel.TargetFreePages
+		if maxOff < 0 {
+			maxOff = 0
+		}
+		inj.ScheduleMem(sys.Phys, maxOff, sys.KickDaemons)
+		if cfg.AuditOnFault {
+			inj.OnFault = func(chaos.Site) { audit() }
+		}
+	}
+	auditTicks := 0
+	if cfg.AuditEvery > 0 {
+		var tick func()
+		tick = func() {
+			audit()
+			auditTicks++
+			if auditErr == nil {
+				sys.Sim.At(sys.Now()+cfg.AuditEvery, tick)
+			}
+		}
+		sys.Sim.At(cfg.AuditEvery, tick)
+	}
+
+	res := &TenantResult{
+		Bench: spec.Name,
+		Mode:  cfg.Mode,
+		Nodes: sys.Phys.Nodes(),
+		Hogs:  cfg.Hogs,
+	}
+	runErrCh := make(chan error, cfg.Hogs)
+
+	// The hog population: each hog is its own process (so home-node
+	// placement spreads them round-robin) with its own bound image and
+	// run-time layer, looping until the horizon.
+	for h := 0; h < cfg.Hogs; h++ {
+		img, err := comp.Bind(params)
+		if err != nil {
+			return nil, fmt.Errorf("bind %s: %w", spec.Name, err)
+		}
+		proc := sys.NewProcess(fmt.Sprintf("hog%d", h), img.TotalPages)
+		var pm *pdpm.PM
+		if cfg.Mode.UsesPrefetch() {
+			pm = proc.AttachPM(0)
+		}
+		layer := rt.New(proc, pm, cfg.RT)
+		proc.Start(false, func(th *kernel.Thread) {
+			layer.Bind(th)
+			for {
+				if err := img.Run(layer); err != nil {
+					runErrCh <- err
+					return
+				}
+				res.HogRuns++
+				if cfg.Horizon > 0 && th.Now() >= cfg.Horizon {
+					return
+				}
+			}
+		})
+	}
+
+	// The open-loop arrival schedule is drawn up front from its own
+	// stream: job k's arrival time does not depend on anything the
+	// simulation does.
+	rng := sim.NewRand(cfg.Seed*0x9e3779b97f4a7c15 + 0x74656e616e7473)
+	var arrivals []sim.Time
+	for t := rng.Exp(cfg.MeanInterarrival); t < cfg.Horizon && len(arrivals) < maxTenantJobs; t += rng.Exp(cfg.MeanInterarrival) {
+		arrivals = append(arrivals, t)
+	}
+	responses := make([]sim.Time, 0, len(arrivals))
+	for i, at := range arrivals {
+		i, at := i, at
+		sys.Sim.At(at, func() {
+			res.Arrived++
+			job := sys.NewProcess(fmt.Sprintf("job%d", i), cfg.JobPages)
+			job.Start(false, func(th *kernel.Thread) {
+				for vpn := 0; vpn < cfg.JobPages; vpn++ {
+					th.Touch(vpn, true)
+					th.User(cfg.JobPerPage)
+				}
+				th.FlushUser()
+				res.Completed++
+				responses = append(responses, th.Now()-at)
+			})
+		})
+	}
+
+	sys.Run(cfg.Horizon)
+	select {
+	case err := <-runErrCh:
+		return nil, fmt.Errorf("run %s: %w", spec.Name, err)
+	default:
+	}
+	if auditErr != nil {
+		return nil, fmt.Errorf("audit %s: %w", spec.Name, auditErr)
+	}
+
+	sort.Slice(responses, func(a, b int) bool { return responses[a] < responses[b] })
+	res.P50 = Percentile(responses, 0.50)
+	res.P99 = Percentile(responses, 0.99)
+	res.P999 = Percentile(responses, 0.999)
+	if n := len(responses); n > 0 {
+		res.Max = responses[n-1]
+	}
+	res.Phys = sys.Phys.Stats()
+	res.Daemon = sys.DaemonStats()
+	res.Releaser = sys.ReleaserStats()
+	res.Balancer = sys.BalancerStats()
+	res.Chaos = inj.Counts()
+	res.AuditTicks = auditTicks
+	// Every run doubles as a whole-system consistency check.
+	if err := sys.Audit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

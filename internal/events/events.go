@@ -48,6 +48,9 @@ const (
 	PMPrefetchCall                // pdpm: prefetch system call (A=vm.PrefetchResult)
 	PMReleaseCall                 // pdpm: release system call (A=#pages)
 	ChaosInject                   // chaos: injected fault (Target=site, A=magnitude)
+	AllocLocal                    // mem: frame allocated from the owner's home node (A=node)
+	AllocRemote                   // mem: frame stolen from another node (A=home, B=donor)
+	BalancerMigrate               // balancer: free frames migrated (Target=dst node, A=#frames, B=src)
 	KindCount
 )
 
@@ -76,6 +79,9 @@ var kindNames = [KindCount]string{
 	PMPrefetchCall:    "pm-prefetch-call",
 	PMReleaseCall:     "pm-release-call",
 	ChaosInject:       "chaos-inject",
+	AllocLocal:        "alloc-local",
+	AllocRemote:       "alloc-remote",
+	BalancerMigrate:   "balancer-migrate",
 }
 
 // argLabels gives the A/B values a name in exported output; "" means
@@ -94,6 +100,9 @@ var argLabels = [KindCount][2]string{
 	PMPrefetchCall:  {"result", ""},
 	PMReleaseCall:   {"pages", ""},
 	ChaosInject:     {"mag", ""},
+	AllocLocal:      {"node", ""},
+	AllocRemote:     {"home", "donor"},
+	BalancerMigrate: {"frames", "from"},
 }
 
 // String returns the kind's stable exported name.

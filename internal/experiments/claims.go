@@ -152,6 +152,9 @@ func CheckClaims(v *Versions, d *Interactive, s *Sweep) []Claim {
 		okRelease := true
 		fftB := 0.0
 		var failed []string
+		// Both numerator and denominator are half-up rounded means
+		// (driver.MeanTime), so these float ratios sit on the same
+		// rounding convention as the rendered tables.
 		for _, spec := range d.Specs {
 			p := float64(d.Results[spec.Name][rt.ModePrefetch].Interactive.MeanResponse) / float64(d.Alone)
 			r := float64(d.Results[spec.Name][rt.ModeAggressive].Interactive.MeanResponse) / float64(d.Alone)

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memhogs/internal/driver"
+	"memhogs/internal/metrics"
+	"memhogs/internal/rt"
+	"memhogs/internal/sim"
+	"memhogs/internal/workload"
+)
+
+// The multi-tenant campaign is the datacenter-node experiment the
+// paper's single-user setup never ran: a NUMA-sharded machine where a
+// hog population collides with an open-loop stream of short
+// interactive jobs, and the deliverable is the job tail (p50/p99/p999)
+// per program version — does compiler-directed releasing protect the
+// tail, not just the mean?
+
+// tenantNodes and tenantHogs fix the campaign's machine shape. Four
+// nodes with two hogs leaves half the nodes hog-free, so remote
+// allocations and balancer traffic are both exercised.
+const (
+	tenantNodes = 4
+	tenantHogs  = 2
+)
+
+// MultiTenant is the dataset behind the tenants campaign: each
+// benchmark as the hog population, all four versions, on the sharded
+// machine.
+type MultiTenant struct {
+	Opts    Opts
+	Specs   []*workload.Spec
+	Nodes   int
+	Hogs    int
+	Results map[string]map[rt.Mode]*driver.TenantResult
+}
+
+// tenantConfig derives the per-run config from campaign options.
+func (o Opts) tenantConfig(mode rt.Mode) driver.TenantConfig {
+	cfg := driver.DefaultTenantConfig(mode)
+	cfg.Kernel = o.kernelConfig()
+	cfg.Kernel.Nodes = tenantNodes
+	cfg.Mode = mode
+	cfg.RT = rt.DefaultConfig(mode)
+	cfg.Hogs = tenantHogs
+	cfg.Horizon = o.Horizon
+	if o.Scaled {
+		// The scaled machine has 64-page nodes: shrink the jobs so one
+		// job is pressure, not an eviction storm.
+		cfg.JobPages = 16
+		cfg.MeanInterarrival = 100 * sim.Millisecond
+	}
+	return cfg
+}
+
+// RunMultiTenant collects the MultiTenant dataset. The (benchmark ×
+// mode) grid is enumerated up front and executed on the campaign
+// worker pool; results land in pre-allocated slots, so rendered output
+// is byte-identical at any -j.
+func RunMultiTenant(o Opts) (*MultiTenant, error) {
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiTenant{
+		Opts:    o,
+		Specs:   specs,
+		Nodes:   tenantNodes,
+		Hogs:    tenantHogs,
+		Results: map[string]map[rt.Mode]*driver.TenantResult{},
+	}
+	cache := driver.NewCompileCache()
+	sink := newProgressSink(o.Progress)
+	slots := make([]*driver.TenantResult, len(specs)*len(Modes))
+	var jobs []job
+	for i, spec := range specs {
+		for j, mode := range Modes {
+			slot := &slots[i*len(Modes)+j]
+			spec, mode := spec, mode
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("tenants %s/%s", spec.Name, mode),
+				run: func() error {
+					cfg := o.tenantConfig(mode)
+					cfg.Cache = cache
+					r, err := driver.RunTenants(spec, cfg)
+					if err != nil {
+						return fmt.Errorf("tenants %s/%s: %w", spec.Name, mode, err)
+					}
+					*slot = r
+					sink.printf("tenants %s/%s: p99=%v\n", spec.Name, mode, r.P99)
+					return nil
+				},
+			})
+		}
+	}
+	if err := runJobs(o, jobs); err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		m.Results[spec.Name] = map[rt.Mode]*driver.TenantResult{}
+		for j, mode := range Modes {
+			m.Results[spec.Name][mode] = slots[i*len(Modes)+j]
+		}
+	}
+	return m, nil
+}
+
+// TenantTable renders the job response-time tail per benchmark and
+// version, plus the NUMA traffic that produced it.
+func TenantTable(m *MultiTenant) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Multi-tenant node: %d nodes, %d hogs, open-loop job stream", m.Nodes, m.Hogs),
+		"benchmark", "ver", "jobs done", "p50", "p99", "p999", "max",
+		"local alloc", "remote alloc", "balancer moves")
+	for _, spec := range m.Specs {
+		for _, mode := range Modes {
+			r := m.Results[spec.Name][mode]
+			t.AddRow(spec.Name, mode.String(),
+				fmt.Sprintf("%d/%d", r.Completed, r.Arrived),
+				r.P50.String(), r.P99.String(), r.P999.String(), r.Max.String(),
+				r.Phys.LocalAllocs, r.Phys.RemoteAllocs, r.Balancer.FramesMoved)
+		}
+	}
+	t.AddNote("Percentiles are nearest-rank over completed job response times.")
+	t.AddNote("Releasing (R/B) should flatten the tail: hogs return frames before the")
+	t.AddNote("daemons must steal them from under an arriving job.")
+	return t
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"memhogs/internal/sim"
+)
+
+// TestMultiTenantParallelMatchesSerial is the tenants campaign's
+// determinism oracle: the rendered table from a parallel campaign must
+// be byte-identical to the serial one. Run under -race in CI.
+func TestMultiTenantParallelMatchesSerial(t *testing.T) {
+	o := Quick()
+	o.Benches = []string{"matvec", "embar"}
+	o.Horizon = 3 * sim.Second
+
+	o.Workers = 1
+	serial, err := RunMultiTenant(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	parallel, err := RunMultiTenant(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := TenantTable(serial).String(), TenantTable(parallel).String()
+	if a != b {
+		t.Fatalf("tenants table differs between -j1 and -j4:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	for _, spec := range serial.Specs {
+		for _, mode := range Modes {
+			r := serial.Results[spec.Name][mode]
+			if r.Arrived == 0 {
+				t.Fatalf("%s/%s: no jobs arrived", spec.Name, mode)
+			}
+		}
+	}
+}
+
+// TestTenantTableShape pins the table's machine header and row count:
+// one row per benchmark × version.
+func TestTenantTableShape(t *testing.T) {
+	o := Quick()
+	o.Benches = []string{"matvec"}
+	o.Horizon = 2 * sim.Second
+	m, err := RunMultiTenant(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := TenantTable(m)
+	if got, want := tab.NumRows(), len(Modes); got != want {
+		t.Fatalf("table rows = %d, want %d", got, want)
+	}
+	if m.Nodes != tenantNodes || m.Hogs != tenantHogs {
+		t.Fatalf("machine shape %d nodes/%d hogs, want %d/%d", m.Nodes, m.Hogs, tenantNodes, tenantHogs)
+	}
+}

@@ -32,6 +32,13 @@ import (
 func (sys *System) Audit() error {
 	phys := sys.Phys
 
+	// Pass 0: per-node free-list invariants straight from the
+	// allocator — list structure, loan bookkeeping (listNode), per-node
+	// counters, and free-vs-bitmap agreement for every node region.
+	if err := phys.ValidateFreeLists(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+
 	// Pass 1: per-frame checks, collecting the identity of every
 	// allocated (non-free, non-offline) frame.
 	type key struct {

@@ -24,6 +24,12 @@ type Config struct {
 	PageSize     int      // bytes per page (IRIX on Origin: 16 KB)
 	UserMemPages int      // physical pages available to user programs (~75 MB)
 
+	// Nodes shards physical memory into that many NUMA regions, each
+	// with its own free list, paging daemon, and releaser, plus an
+	// inter-node balancer. 0 or 1 selects the paper's single-node
+	// machine (byte-identical to the pre-sharding simulator).
+	Nodes int
+
 	// VM tunables.
 	MinFreePages    int // min_freemem: daemon wakes below this
 	TargetFreePages int // desfree: daemon steals until free reaches this
@@ -128,6 +134,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kernel: PageSize must be a positive power of two, got %d", c.PageSize)
 	case c.UserMemPages <= 0:
 		return fmt.Errorf("kernel: UserMemPages must be positive, got %d", c.UserMemPages)
+	case c.Nodes < 0 || c.Nodes > c.UserMemPages:
+		return fmt.Errorf("kernel: Nodes %d out of range", c.Nodes)
 	case c.MinFreePages < 0 || c.MinFreePages >= c.UserMemPages:
 		return fmt.Errorf("kernel: MinFreePages %d out of range", c.MinFreePages)
 	case c.TargetFreePages < c.MinFreePages:

@@ -16,12 +16,22 @@ import (
 // System is the assembled machine: simulator, physical memory, disks,
 // daemons, and CPU scheduler.
 type System struct {
-	Cfg      Config
-	Sim      *sim.Sim
-	Phys     *mem.Phys
-	Disks    *disk.Array
-	Daemon   *pageout.Daemon
-	Releaser *pageout.Releaser
+	Cfg   Config
+	Sim   *sim.Sim
+	Phys  *mem.Phys
+	Disks *disk.Array
+
+	// Daemons and Releasers hold one paging daemon and one releaser
+	// per memory node; Daemon and Releaser alias node 0 (the only
+	// entries on an unsharded machine).
+	Daemons   []*pageout.Daemon
+	Releasers []*pageout.Releaser
+	Daemon    *pageout.Daemon
+	Releaser  *pageout.Releaser
+
+	// Balancer migrates free frames between nodes; nil on a
+	// single-node machine.
+	Balancer *pageout.Balancer
 
 	// Events is the flight recorder, nil (recording off) unless
 	// SetEvents installed one.
@@ -53,8 +63,27 @@ func NewSystem(cfg Config) *System {
 		Sim:  s,
 		cpus: sim.NewSem("cpus", cfg.NCPU),
 	}
-	sys.Phys = mem.New(s, cfg.UserMemPages)
-	sys.Phys.LowWater = cfg.MinFreePages
+	nodes := cfg.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	sys.Phys = mem.NewSharded(s, cfg.UserMemPages, nodes)
+	nodes = sys.Phys.Nodes() // NewSharded clamps to the frame count
+
+	// Per-node daemons divide the global thresholds so the whole
+	// machine keeps the same total reserve; with one node this leaves
+	// the paper's tunables untouched.
+	dkcfg := cfg.Daemon
+	low := cfg.MinFreePages
+	if nodes > 1 {
+		dkcfg.MinFree = perNode(cfg.Daemon.MinFree, nodes)
+		dkcfg.TargetFree = perNode(cfg.Daemon.TargetFree, nodes)
+		if dkcfg.TargetFree < dkcfg.MinFree {
+			dkcfg.TargetFree = dkcfg.MinFree
+		}
+		low = perNode(cfg.MinFreePages, nodes)
+	}
+	sys.Phys.LowWater = low
 	sys.Phys.FreeChanged = func(free int) {
 		for _, pm := range sys.pms {
 			pm.FreeMemChanged(free)
@@ -65,17 +94,99 @@ func NewSystem(cfg Config) *System {
 		dcfg.Seed = cfg.Seed
 	}
 	sys.Disks = disk.New(s, dcfg)
-	sys.Daemon = pageout.NewDaemon(s, sys.Phys, sys.Disks, cfg.Daemon)
-	sys.Phys.NeedMemory = sys.Daemon.Kick
-	sys.Releaser = pageout.NewReleaser(s, sys.Disks, cfg.Releaser)
+	for k := 0; k < nodes; k++ {
+		sys.Daemons = append(sys.Daemons, pageout.NewNodeDaemon(s, sys.Phys, sys.Disks, dkcfg, k))
+		sys.Releasers = append(sys.Releasers, pageout.NewNodeReleaser(s, sys.Disks, cfg.Releaser, k))
+	}
+	sys.Daemon, sys.Releaser = sys.Daemons[0], sys.Releasers[0]
+	if nodes > 1 {
+		sys.Balancer = pageout.NewBalancer(s, sys.Phys, dkcfg.MinFree, dkcfg.TargetFree, dkcfg.PerPage)
+	}
+	sys.Phys.NeedMemory = func(node int) {
+		sys.Daemons[node].Kick()
+		if sys.Balancer != nil {
+			sys.Balancer.Kick()
+		}
+	}
 
-	sys.Daemon.Start(func(p *sim.Proc) vm.Exec {
+	mkExec := func(p *sim.Proc) vm.Exec {
 		return &execCtx{sys: sys, proc: p, times: &sys.DaemonTime, flush: func() {}}
-	})
-	sys.Releaser.Start(func(p *sim.Proc) vm.Exec {
-		return &execCtx{sys: sys, proc: p, times: &sys.DaemonTime, flush: func() {}}
-	})
+	}
+	// Interleaved starts keep the historical single-node spawn order
+	// ("pageoutd" then "releaserd") and give each node the same local
+	// ordering.
+	for k := 0; k < nodes; k++ {
+		sys.Daemons[k].Start(mkExec)
+		sys.Releasers[k].Start(mkExec)
+	}
+	if sys.Balancer != nil {
+		sys.Balancer.Start(mkExec)
+	}
 	return sys
+}
+
+// perNode divides a global page threshold across nodes, never below
+// one page.
+func perNode(v, nodes int) int {
+	v /= nodes
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// KickDaemons wakes the paging daemon of one node, or every daemon
+// (plus the balancer) when node is out of range — the "some node needs
+// memory, not sure which" case chaos hot-unplug uses.
+func (sys *System) KickDaemons(node int) {
+	if node >= 0 && node < len(sys.Daemons) {
+		sys.Daemons[node].Kick()
+	} else {
+		for _, d := range sys.Daemons {
+			d.Kick()
+		}
+	}
+	if sys.Balancer != nil {
+		sys.Balancer.Kick()
+	}
+}
+
+// DaemonStats sums the per-node paging-daemon counters.
+func (sys *System) DaemonStats() pageout.DaemonStats {
+	var t pageout.DaemonStats
+	for _, d := range sys.Daemons {
+		t.Activations += d.Stats.Activations
+		t.Scanned += d.Stats.Scanned
+		t.Invalidations += d.Stats.Invalidations
+		t.Stolen += d.Stats.Stolen
+		t.Writebacks += d.Stats.Writebacks
+		t.Trims += d.Stats.Trims
+		t.Donated += d.Stats.Donated
+	}
+	return t
+}
+
+// ReleaserStats sums the per-node releaser counters.
+func (sys *System) ReleaserStats() pageout.ReleaserStats {
+	var t pageout.ReleaserStats
+	for _, r := range sys.Releasers {
+		t.Requests += r.Stats.Requests
+		t.PagesRequested += r.Stats.PagesRequested
+		t.Freed += r.Stats.Freed
+		t.SkippedRef += r.Stats.SkippedRef
+		t.SkippedGone += r.Stats.SkippedGone
+		t.Writebacks += r.Stats.Writebacks
+	}
+	return t
+}
+
+// BalancerStats returns the inter-node balancer counters (zero on a
+// single-node machine).
+func (sys *System) BalancerStats() pageout.BalancerStats {
+	if sys.Balancer == nil {
+		return pageout.BalancerStats{}
+	}
+	return sys.Balancer.Stats
 }
 
 // SetEvents installs the flight recorder on every layer: the daemons,
@@ -85,8 +196,16 @@ func NewSystem(cfg Config) *System {
 // counter registry agrees with the run's statistics.
 func (sys *System) SetEvents(r *events.Recorder) {
 	sys.Events = r
-	sys.Daemon.Events = r
-	sys.Releaser.Events = r
+	sys.Phys.Events = r
+	for _, d := range sys.Daemons {
+		d.Events = r
+	}
+	for _, rel := range sys.Releasers {
+		rel.Events = r
+	}
+	if sys.Balancer != nil {
+		sys.Balancer.Events = r
+	}
 	for _, p := range sys.procs {
 		p.AS.Events = r
 	}
@@ -99,8 +218,12 @@ func (sys *System) SetEvents(r *events.Recorder) {
 // so the whole run sees the same fault plan.
 func (sys *System) SetChaos(in *chaos.Injector) {
 	sys.Chaos = in
-	sys.Daemon.Chaos = in
-	sys.Releaser.Chaos = in
+	for _, d := range sys.Daemons {
+		d.Chaos = in
+	}
+	for _, rel := range sys.Releasers {
+		rel.Chaos = in
+	}
 	sys.Disks.Chaos = in
 	for _, pm := range sys.pms {
 		pm.Chaos = in
@@ -168,6 +291,11 @@ type Process struct {
 	AS   *vm.AS
 	PM   *pdpm.PM
 
+	// Node is the process's home memory node: allocations prefer its
+	// free list and its daemons service this address space. Processes
+	// are placed round-robin; always 0 on a single-node machine.
+	Node int
+
 	// Times accumulates the main thread's time buckets; WorkerTimes
 	// accumulates all helper threads' (the paper reports the
 	// application's own execution time; prefetch service happens on
@@ -188,25 +316,33 @@ func (sys *System) NewProcess(name string, npages int) *Process {
 	if npages <= 0 {
 		panic(fmt.Sprintf("kernel: process %q needs at least one page", name))
 	}
-	p := &Process{Sys: sys, Name: name}
+	home := sys.nextID % len(sys.Daemons)
+	sys.Phys.SetHome(sys.nextID, home)
+	p := &Process{Sys: sys, Name: name, Node: home}
 	p.AS = vm.NewAS(name, sys.nextID, npages, sys.swapCursor, sys.Phys, sys.Disks, sys.Cfg.VM)
 	p.AS.Events = sys.Events
 	sys.nextID++
 	// Offset swap bases by a small prime so different processes do not
 	// stripe-align with each other.
 	sys.swapCursor += int64(npages) + 7
-	p.AS.OverLimit = sys.Daemon.Kick
-	sys.Daemon.Register(p.AS)
+	p.AS.OverLimit = sys.Daemons[home].Kick
+	sys.Daemons[home].Register(p.AS)
 	sys.procs = append(sys.procs, p)
 	return p
 }
+
+// HomeDaemon returns the paging daemon of the process's home node.
+func (p *Process) HomeDaemon() *pageout.Daemon { return p.Sys.Daemons[p.Node] }
+
+// HomeReleaser returns the releaser of the process's home node.
+func (p *Process) HomeReleaser() *pageout.Releaser { return p.Sys.Releasers[p.Node] }
 
 // AttachPM attaches a PagingDirected policy module to the process's
 // whole address space. maxRSS <= 0 means unlimited.
 func (p *Process) AttachPM(maxRSS int) *pdpm.PM {
 	cfg := p.Sys.Cfg.PM
 	cfg.MaxRSS = maxRSS
-	p.PM = pdpm.Attach(p.AS, p.Sys.Phys, p.Sys.Releaser, cfg)
+	p.PM = pdpm.Attach(p.AS, p.Sys.Phys, p.HomeReleaser(), cfg)
 	p.PM.Chaos = p.Sys.Chaos
 	p.Sys.pms = append(p.Sys.pms, p.PM)
 	if maxRSS > 0 {

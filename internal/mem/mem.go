@@ -1,7 +1,8 @@
-// Package mem models physical memory: a fixed pool of page frames and
-// the system free list.
+// Package mem models physical memory: a fixed pool of page frames
+// split into one or more node-local regions (NUMA sharding), each with
+// its own free list.
 //
-// The free list preserves the identity of freed pages: a frame freed
+// The free lists preserve the identity of freed pages: a frame freed
 // by the paging daemon or by an explicit release remembers which
 // address space and virtual page it held until the frame is
 // reallocated. A subsequent fault on that virtual page can then
@@ -10,12 +11,22 @@
 // too early (Figure 9). Released pages go to the *tail* of the list,
 // "giving pages that were released too early a chance to be rescued"
 // (§3.1.2), while allocation takes from the head.
+//
+// Sharding follows an origin-based region-per-node layout: frame i
+// belongs to node i/regionSize for its whole life. A free frame may
+// temporarily sit on another node's list (the balancer loans frames to
+// starved nodes), but freeing always repatriates it to its origin
+// node's tail. Allocation prefers the owner's home node and steals
+// from the richest other node only when the home list is empty. With
+// nodes=1 every path below degenerates to the original single-list
+// behavior bit-for-bit (pinned by TestTraceDigests).
 package mem
 
 import (
 	"fmt"
 	"math/bits"
 
+	"memhogs/internal/events"
 	"memhogs/internal/sim"
 )
 
@@ -63,8 +74,8 @@ func (k FreeKind) String() string {
 	}
 }
 
-// Frame is one physical page frame. Frames form an intrusive doubly
-// linked free list so that free/alloc/rescue are all O(1).
+// Frame is one physical page frame. Frames form intrusive doubly
+// linked per-node free lists so that free/alloc/rescue are all O(1).
 type Frame struct {
 	ID    FrameID
 	Owner Owner // nil when the frame holds no identifiable page
@@ -73,10 +84,11 @@ type Frame struct {
 
 	freeKind   FreeKind
 	prev, next FrameID // free-list links, valid when freeKind != FreedNone
+	listNode   int32   // which node's free list holds the frame (balancer loans)
 	offline    bool    // hot-unplugged: neither free nor allocatable
 }
 
-// OnFreeList reports whether the frame is currently on the free list.
+// OnFreeList reports whether the frame is currently on a free list.
 func (f *Frame) OnFreeList() bool { return f.freeKind != FreedNone }
 
 // Kind reports how the frame was freed (FreedNone if resident).
@@ -86,7 +98,7 @@ func (f *Frame) Kind() FreeKind { return f.freeKind }
 func (f *Frame) IsOffline() bool { return f.offline }
 
 // Stats tracks free-list outcomes for the paper's Figure 9 and
-// Table 3.
+// Table 3, plus the NUMA counters (all zero with one node).
 type Stats struct {
 	FreedByDaemon  int64 // frames placed on free list by the paging daemon
 	FreedByRelease int64 // frames placed on free list by explicit release
@@ -97,53 +109,85 @@ type Stats struct {
 	Allocations    int64 // total frame allocations
 	AllocWaits     int64 // allocations that had to wait for free memory
 	AllocWaitTime  sim.Time
+	LocalAllocs    int64 // allocations satisfied from the owner's home node (nodes>1)
+	RemoteAllocs   int64 // allocations stolen from another node (nodes>1)
+	BalancerMoves  int64 // free frames migrated between nodes by the balancer
 }
 
 // Phys is the physical memory pool.
 type Phys struct {
 	sim        *sim.Sim
 	frames     []Frame
-	head, tail FrameID // free list: head = next to allocate
-	nfree      int
+	nodes      int
+	regionSize int
+	head, tail []FrameID // per-node free lists: head = next to allocate
+	nfreeNode  []int     // free frames currently on each node's list
+	nfree      int       // total free frames
 	offlineIDs []FrameID // hot-unplugged frames, LIFO
+	homes      []int     // owner id -> home node
 	stats      Stats
 
 	// alloc is a packed bitmap with one bit per frame, set while the
 	// frame is allocated (neither free-listed nor offline). The paging
-	// daemon's clock sweep scans it word-at-a-time instead of walking
+	// daemons' clock sweeps scan it word-at-a-time instead of walking
 	// Frame structs; the frames themselves stay the source of truth
 	// (the audit cross-checks the two).
 	alloc []uint64
 
 	waiters *sim.Waitq
 
-	// NeedMemory, if non-nil, is invoked whenever free memory drops to
-	// or below LowWater or an allocation has to wait. The paging
-	// daemon registers its wake-up here.
-	NeedMemory func()
+	// NeedMemory, if non-nil, is invoked with a node index whenever
+	// that node's free memory drops to or below LowWater or an
+	// allocation has to wait. The paging daemons register their
+	// wake-ups here.
+	NeedMemory func(node int)
 
 	// FreeChanged, if non-nil, is invoked after every change to the
-	// free count. The kernel uses it for the threshold-notification
-	// shared-page variant (§3.1.1's unexplored alternative).
+	// total free count. The kernel uses it for the
+	// threshold-notification shared-page variant (§3.1.1's unexplored
+	// alternative).
 	FreeChanged func(free int)
 
-	// LowWater is the free-frame count at or below which NeedMemory
-	// fires.
+	// LowWater is the per-node free-frame count at or below which
+	// NeedMemory fires.
 	LowWater int
+
+	// Events is the flight recorder for node-local/remote allocation
+	// events; nil (or a single node) records nothing.
+	Events *events.Recorder
 }
 
-// New creates a pool of n frames, all initially free with no identity.
-func New(s *sim.Sim, n int) *Phys {
+// New creates a single-node pool of n frames, all initially free with
+// no identity.
+func New(s *sim.Sim, n int) *Phys { return NewSharded(s, n, 1) }
+
+// NewSharded creates a pool of n frames split into nodes equal
+// regions (the last node absorbs any remainder). nodes is clamped to
+// [1, n].
+func NewSharded(s *sim.Sim, n, nodes int) *Phys {
 	if n <= 0 {
 		panic("mem: pool must have at least one frame")
 	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > n {
+		nodes = n
+	}
 	p := &Phys{
-		sim:     s,
-		frames:  make([]Frame, n),
-		head:    NoFrame,
-		tail:    NoFrame,
-		alloc:   make([]uint64, (n+63)/64),
-		waiters: sim.NewWaitq("phys.alloc"),
+		sim:        s,
+		frames:     make([]Frame, n),
+		nodes:      nodes,
+		regionSize: n / nodes,
+		head:       make([]FrameID, nodes),
+		tail:       make([]FrameID, nodes),
+		nfreeNode:  make([]int, nodes),
+		alloc:      make([]uint64, (n+63)/64),
+		waiters:    sim.NewWaitq("phys.alloc"),
+	}
+	for k := 0; k < nodes; k++ {
+		p.head[k] = NoFrame
+		p.tail[k] = NoFrame
 	}
 	for i := range p.frames {
 		f := &p.frames[i]
@@ -158,8 +202,33 @@ func New(s *sim.Sim, n int) *Phys {
 // NumFrames returns the total number of physical frames.
 func (p *Phys) NumFrames() int { return len(p.frames) }
 
-// FreeCount returns the current length of the free list.
+// Nodes returns the number of memory nodes (1 = unsharded).
+func (p *Phys) Nodes() int { return p.nodes }
+
+// NodeOf returns the origin node of frame i.
+func (p *Phys) NodeOf(i int) int {
+	k := i / p.regionSize
+	if k >= p.nodes {
+		k = p.nodes - 1
+	}
+	return k
+}
+
+// NodeRange returns node k's frame region [base, limit).
+func (p *Phys) NodeRange(k int) (base, limit int) {
+	base = k * p.regionSize
+	limit = base + p.regionSize
+	if k == p.nodes-1 {
+		limit = len(p.frames)
+	}
+	return base, limit
+}
+
+// FreeCount returns the total length of the free lists.
 func (p *Phys) FreeCount() int { return p.nfree }
+
+// FreeCountNode returns the length of node k's free list.
+func (p *Phys) FreeCountNode(k int) int { return p.nfreeNode[k] }
 
 // Frame returns the frame with the given id.
 func (p *Phys) Frame(id FrameID) *Frame { return &p.frames[id] }
@@ -170,7 +239,34 @@ func (p *Phys) Stats() Stats { return p.stats }
 // ResetStats zeroes the counters.
 func (p *Phys) ResetStats() { p.stats = Stats{} }
 
-// FrameAllocated reports whether frame i is allocated (neither on the
+// SetHome records an owner's home node; allocations for that owner
+// prefer the home node's free list. Unset owners default to node 0.
+func (p *Phys) SetHome(ownerID, node int) {
+	if node < 0 || node >= p.nodes {
+		panic(fmt.Sprintf("mem: home node %d out of range", node))
+	}
+	for len(p.homes) <= ownerID {
+		p.homes = append(p.homes, 0)
+	}
+	p.homes[ownerID] = node
+}
+
+// HomeOf returns the home node recorded for an owner id.
+func (p *Phys) HomeOf(ownerID int) int {
+	if ownerID >= 0 && ownerID < len(p.homes) {
+		return p.homes[ownerID]
+	}
+	return 0
+}
+
+func (p *Phys) homeOf(o Owner) int {
+	if p.nodes == 1 || o == nil {
+		return 0
+	}
+	return p.HomeOf(o.OwnerID())
+}
+
+// FrameAllocated reports whether frame i is allocated (neither on a
 // free list nor offline), from the packed bitmap.
 func (p *Phys) FrameAllocated(i int) bool {
 	return p.alloc[i>>6]&(1<<(uint(i)&63)) != 0
@@ -199,43 +295,115 @@ func (p *Phys) NextAllocated(start int) int {
 	return -1
 }
 
+// NextAllocatedIn returns the first allocated frame at or after start
+// within the region [base, limit), wrapping at limit back to base, or
+// -1 when the region has no allocated frame. NextAllocated(start) is
+// NextAllocatedIn(start, 0, NumFrames()). Per-node clock hands sweep
+// their own region with this.
+//
+//simvet:hot
+func (p *Phys) NextAllocatedIn(start, base, limit int) int {
+	if i := p.nextAllocRange(start, limit); i >= 0 {
+		return i
+	}
+	if start > base {
+		return p.nextAllocRange(base, start)
+	}
+	return -1
+}
+
+// nextAllocRange returns the first allocated frame in [from, to), or
+// -1. Word-at-a-time with partial-word masks at both ends.
+//
+//simvet:hot
+func (p *Phys) nextAllocRange(from, to int) int {
+	if from >= to {
+		return -1
+	}
+	w := from >> 6
+	last := (to - 1) >> 6
+	word := p.alloc[w] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if w == last {
+			if tailBits := uint(to) & 63; tailBits != 0 {
+				word &= 1<<tailBits - 1
+			}
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w > last {
+			return -1
+		}
+		word = p.alloc[w]
+	}
+}
+
 func (p *Phys) pushTail(f *Frame, kind FreeKind) {
+	p.pushTailOn(f, p.NodeOf(int(f.ID)), kind)
+}
+
+func (p *Phys) pushTailOn(f *Frame, node int, kind FreeKind) {
 	p.alloc[f.ID>>6] &^= 1 << (uint(f.ID) & 63)
 	f.freeKind = kind
-	f.prev = p.tail
+	f.listNode = int32(node)
+	f.prev = p.tail[node]
 	f.next = NoFrame
-	if p.tail != NoFrame {
-		p.frames[p.tail].next = f.ID
+	if p.tail[node] != NoFrame {
+		p.frames[p.tail[node]].next = f.ID
 	} else {
-		p.head = f.ID
+		p.head[node] = f.ID
 	}
-	p.tail = f.ID
+	p.tail[node] = f.ID
+	p.nfreeNode[node]++
 	p.nfree++
 }
 
 func (p *Phys) unlink(f *Frame) {
+	node := int(f.listNode)
 	p.alloc[f.ID>>6] |= 1 << (uint(f.ID) & 63)
 	if f.prev != NoFrame {
 		p.frames[f.prev].next = f.next
 	} else {
-		p.head = f.next
+		p.head[node] = f.next
 	}
 	if f.next != NoFrame {
 		p.frames[f.next].prev = f.prev
 	} else {
-		p.tail = f.prev
+		p.tail[node] = f.prev
 	}
 	f.freeKind = FreedNone
 	f.prev, f.next = NoFrame, NoFrame
+	p.nfreeNode[node]--
 	p.nfree--
 }
 
-// Alloc takes the oldest frame from the free list, destroying its old
-// identity (notifying the previous owner). If the free list is empty
-// the calling process blocks until memory is freed; the wait time is
-// returned so the caller can account it as resource stall. proc may be
-// nil only when free frames are known to exist (it panics otherwise).
+// richestNode returns the node with the most free frames, excluding
+// `exclude` (pass -1 to consider all); ties break to the lowest index.
+// Returns -1 when every considered node is empty.
+func (p *Phys) richestNode(exclude int) int {
+	best, bestFree := -1, 0
+	for k := 0; k < p.nodes; k++ {
+		if k == exclude {
+			continue
+		}
+		if p.nfreeNode[k] > bestFree {
+			best, bestFree = k, p.nfreeNode[k]
+		}
+	}
+	return best
+}
+
+// Alloc takes the oldest frame from the owner's home-node free list —
+// stealing from the richest other node when the home list is empty —
+// destroying the frame's old identity (notifying the previous owner).
+// If no node has free frames the calling process blocks until memory
+// is freed; the wait time is returned so the caller can account it as
+// resource stall. proc may be nil only when free frames are known to
+// exist (it panics otherwise).
 func (p *Phys) Alloc(proc *sim.Proc, newOwner Owner, vpn int) (*Frame, sim.Time) {
+	home := p.homeOf(newOwner)
 	var waited sim.Time
 	for p.nfree == 0 {
 		if proc == nil {
@@ -243,14 +411,18 @@ func (p *Phys) Alloc(proc *sim.Proc, newOwner Owner, vpn int) (*Frame, sim.Time)
 		}
 		p.stats.AllocWaits++
 		if p.NeedMemory != nil {
-			p.NeedMemory()
+			p.NeedMemory(home)
 		}
 		start := proc.Now()
 		p.waiters.Wait(proc)
 		waited += proc.Now() - start
 	}
 	p.stats.AllocWaitTime += waited
-	f := &p.frames[p.head]
+	node := home
+	if p.nfreeNode[home] == 0 {
+		node = p.richestNode(home)
+	}
+	f := &p.frames[p.head[node]]
 	p.unlink(f)
 	if f.Owner != nil {
 		f.Owner.FrameInvalidated(f.VPN)
@@ -260,8 +432,17 @@ func (p *Phys) Alloc(proc *sim.Proc, newOwner Owner, vpn int) (*Frame, sim.Time)
 	f.VPN = vpn
 	f.Dirty = false
 	p.stats.Allocations++
-	if p.nfree <= p.LowWater && p.NeedMemory != nil {
-		p.NeedMemory()
+	if p.nodes > 1 && newOwner != nil {
+		if node == home {
+			p.stats.LocalAllocs++
+			p.Events.Emit(events.AllocLocal, newOwner.OwnerName(), "", vpn, int64(home), 0)
+		} else {
+			p.stats.RemoteAllocs++
+			p.Events.Emit(events.AllocRemote, newOwner.OwnerName(), "", vpn, int64(home), int64(node))
+		}
+	}
+	if p.nfreeNode[home] <= p.LowWater && p.NeedMemory != nil {
+		p.NeedMemory(home)
 	}
 	if p.FreeChanged != nil {
 		p.FreeChanged(p.nfree)
@@ -280,8 +461,9 @@ func (p *Phys) TryAlloc(newOwner Owner, vpn int) (*Frame, bool) {
 	return f, true
 }
 
-// Free places a frame at the tail of the free list, preserving its
-// identity so it can be rescued. kind records who freed it.
+// Free places a frame at the tail of its origin node's free list,
+// preserving its identity so it can be rescued. kind records who freed
+// it.
 func (p *Phys) Free(f *Frame, kind FreeKind) {
 	if f.OnFreeList() {
 		panic(fmt.Sprintf("mem: double free of frame %d", f.ID))
@@ -304,7 +486,7 @@ func (p *Phys) Free(f *Frame, kind FreeKind) {
 	}
 }
 
-// Rescue removes a free-listed frame from the free list and returns it
+// Rescue removes a free-listed frame from its free list and returns it
 // to its owner, recording the outcome. The caller must have verified
 // that the identity (owner, vpn) still matches.
 func (p *Phys) Rescue(f *Frame) {
@@ -329,19 +511,53 @@ func (p *Phys) DropIdentity(f *Frame) {
 	f.Dirty = false
 }
 
+// Migrate moves up to max free frames from node `from`'s list head to
+// node `to`'s list tail, preserving identities and free kinds (a
+// loaned frame stays rescuable). It returns how many frames moved.
+// The total free count is unchanged, so no waiter or FreeChanged
+// notification fires. Only the inter-node balancer calls this.
+func (p *Phys) Migrate(from, to, max int) int {
+	if from == to {
+		return 0
+	}
+	moved := 0
+	for moved < max && p.nfreeNode[from] > 0 {
+		f := &p.frames[p.head[from]]
+		kind := f.freeKind
+		p.unlink(f)
+		p.pushTailOn(f, to, kind)
+		moved++
+	}
+	p.stats.BalancerMoves += int64(moved)
+	return moved
+}
+
 // OfflineCount returns the number of hot-unplugged frames.
 func (p *Phys) OfflineCount() int { return len(p.offlineIDs) }
 
 // Offline hot-unplugs up to n frames, taking them from the head of
-// the free list (the oldest identities, which would be reallocated
-// next anyway). Only free frames can go offline; the return value is
-// how many actually did. Identities are destroyed, so pending rescues
-// of those pages become hard faults — exactly the degradation a real
-// memory-removal causes.
-func (p *Phys) Offline(n int) int {
+// the richest node's free list (the oldest identities, which would be
+// reallocated next anyway). Only free frames can go offline; the
+// return value is how many actually did. Identities are destroyed, so
+// pending rescues of those pages become hard faults — exactly the
+// degradation a real memory-removal causes.
+func (p *Phys) Offline(n int) int { return p.offlineFrom(-1, n) }
+
+// OfflineNode hot-unplugs up to n free frames from node k's free list
+// (a per-node unplug leaves the other nodes untouched).
+func (p *Phys) OfflineNode(k, n int) int { return p.offlineFrom(k, n) }
+
+func (p *Phys) offlineFrom(node, n int) int {
 	taken := 0
-	for taken < n && p.nfree > 0 {
-		f := &p.frames[p.head]
+	for taken < n {
+		k := node
+		if k < 0 {
+			k = p.richestNode(-1)
+		}
+		if k < 0 || p.nfreeNode[k] == 0 {
+			break
+		}
+		f := &p.frames[p.head[k]]
 		p.unlink(f)
 		if f.Owner != nil {
 			f.Owner.FrameInvalidated(f.VPN)
@@ -355,8 +571,12 @@ func (p *Phys) Offline(n int) int {
 		taken++
 	}
 	if taken > 0 {
-		if p.nfree <= p.LowWater && p.NeedMemory != nil {
-			p.NeedMemory()
+		if p.NeedMemory != nil {
+			for k := 0; k < p.nodes; k++ {
+				if p.nfreeNode[k] <= p.LowWater {
+					p.NeedMemory(k)
+				}
+			}
 		}
 		if p.FreeChanged != nil {
 			p.FreeChanged(p.nfree)
@@ -366,14 +586,43 @@ func (p *Phys) Offline(n int) int {
 }
 
 // Online brings up to n hot-unplugged frames back, identity-free, at
-// the tail of the free list, waking allocation waiters. It returns
-// how many came back.
-func (p *Phys) Online(n int) int {
+// the tail of their origin node's free list, waking allocation
+// waiters. It returns how many came back.
+func (p *Phys) Online(n int) int { return p.onlineTo(-1, n) }
+
+// OnlineNode brings back up to n hot-unplugged frames whose origin is
+// node k (a per-node replug).
+func (p *Phys) OnlineNode(k, n int) int { return p.onlineTo(k, n) }
+
+func (p *Phys) onlineTo(node, n int) int {
 	taken := 0
 	for taken < n && len(p.offlineIDs) > 0 {
-		id := p.offlineIDs[len(p.offlineIDs)-1]
-		p.offlineIDs = p.offlineIDs[:len(p.offlineIDs)-1]
+		idx := len(p.offlineIDs) - 1
+		if node >= 0 {
+			for idx >= 0 && p.NodeOf(int(p.offlineIDs[idx])) != node {
+				idx--
+			}
+			if idx < 0 {
+				break
+			}
+		}
+		id := p.offlineIDs[idx]
+		p.offlineIDs = append(p.offlineIDs[:idx], p.offlineIDs[idx+1:]...)
 		f := &p.frames[id]
+		// Re-admission must not trust that unplug-time teardown left the
+		// frame clean: the PTEs are the source of truth, so any identity
+		// or allocated-bitmap bit still attached to an offline frame is
+		// drift, and admitting it would let a stale rescue resurrect a
+		// dead mapping. Invalidate and scrub before the frame rejoins
+		// the pool (the hot-unplug/replug property test cross-checks
+		// this against a linear scan).
+		if f.Owner != nil {
+			f.Owner.FrameInvalidated(f.VPN)
+			f.Owner = nil
+			f.VPN = 0
+			f.Dirty = false
+		}
+		p.alloc[id>>6] &^= 1 << (uint(id) & 63)
 		f.offline = false
 		p.pushTail(f, FreedExit)
 		p.waiters.WakeOne()
@@ -383,4 +632,52 @@ func (p *Phys) Online(n int) int {
 		p.FreeChanged(p.nfree)
 	}
 	return taken
+}
+
+// ValidateFreeLists walks every node's free list and cross-checks it
+// against the frame structs, the per-node counters, and the allocated
+// bitmap: every listed frame must be free (not offline), recorded on
+// this node, correctly back-linked, and clear in the bitmap; the walk
+// length must equal the node's counter and the counters must sum to
+// the total. kernel.Audit runs this as the per-node invariant pass.
+func (p *Phys) ValidateFreeLists() error {
+	total := 0
+	for k := 0; k < p.nodes; k++ {
+		count := 0
+		prev := NoFrame
+		for id := p.head[k]; id != NoFrame; id = p.frames[id].next {
+			f := &p.frames[id]
+			if !f.OnFreeList() {
+				return fmt.Errorf("mem: node %d free list holds non-free frame %d", k, id)
+			}
+			if f.offline {
+				return fmt.Errorf("mem: node %d free list holds offline frame %d", k, id)
+			}
+			if int(f.listNode) != k {
+				return fmt.Errorf("mem: frame %d on node %d's list but listNode says %d", id, k, f.listNode)
+			}
+			if f.prev != prev {
+				return fmt.Errorf("mem: frame %d back-link %d != %d", id, f.prev, prev)
+			}
+			if p.FrameAllocated(int(id)) {
+				return fmt.Errorf("mem: free frame %d set in allocated bitmap", id)
+			}
+			prev = id
+			count++
+			if count > p.nfree {
+				return fmt.Errorf("mem: node %d free list longer than total free count %d (cycle?)", k, p.nfree)
+			}
+		}
+		if p.tail[k] != prev {
+			return fmt.Errorf("mem: node %d tail %d != last walked frame %d", k, p.tail[k], prev)
+		}
+		if count != p.nfreeNode[k] {
+			return fmt.Errorf("mem: node %d free count %d != %d listed frames", k, p.nfreeNode[k], count)
+		}
+		total += count
+	}
+	if total != p.nfree {
+		return fmt.Errorf("mem: per-node free counts sum to %d, total says %d", total, p.nfree)
+	}
+	return nil
 }

@@ -133,7 +133,7 @@ func TestNeedMemoryFiresAtLowWater(t *testing.T) {
 	p := New(s, 4)
 	p.LowWater = 2
 	kicks := 0
-	p.NeedMemory = func() { kicks++ }
+	p.NeedMemory = func(int) { kicks++ }
 	o := &fakeOwner{name: "o"}
 	p.Alloc(nil, o, 0) // free 3 > 2: no kick
 	if kicks != 0 {
@@ -310,7 +310,7 @@ func TestOfflineKicksDaemonAtLowWater(t *testing.T) {
 	p := New(s, 8)
 	p.LowWater = 4
 	kicks := 0
-	p.NeedMemory = func() { kicks++ }
+	p.NeedMemory = func(int) { kicks++ }
 	p.Offline(3) // free 5 > 4: no kick
 	if kicks != 0 {
 		t.Fatalf("kicked too early: %d", kicks)
@@ -390,6 +390,91 @@ func TestAllocBitmapTracksFrameState(t *testing.T) {
 		start := next(p.NumFrames())
 		if got, want := p.NextAllocated(start), refNextAllocated(p, start); got != want {
 			t.Fatalf("step %d: NextAllocated(%d) = %d, reference scan = %d", step, start, got, want)
+		}
+	}
+}
+
+// refNextAllocatedIn is the per-frame reference for the region-scoped
+// scan: first allocated frame at or after start within [base, limit),
+// wrapping at limit back to base.
+func refNextAllocatedIn(p *Phys, start, base, limit int) int {
+	n := limit - base
+	for k := 0; k < n; k++ {
+		i := base + (start-base+k)%n
+		f := p.Frame(FrameID(i))
+		if !f.OnFreeList() && !f.IsOffline() {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestHotUnplugReplugShardedConsistency(t *testing.T) {
+	// Hot-unplug/replug cycles on a sharded pool — scoped to one node
+	// and whole-machine — must keep the per-node free lists, the packed
+	// allocation bitmap, and both scan primitives consistent with the
+	// frame structs (the PTE-facing source of truth) after every
+	// operation. Online re-admits frames that unplug-time teardown
+	// already scrubbed; this is the regression net for re-admission
+	// trusting stale identity or a stale bitmap bit.
+	s := sim.New()
+	const frames, nodes = 130, 3
+	p := NewSharded(s, frames, nodes)
+	o := &fakeOwner{name: "o"}
+	var held []*Frame
+	rng := uint64(99)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 3000; step++ {
+		switch next(6) {
+		case 0, 1:
+			if p.FreeCount() > 0 {
+				f, _ := p.Alloc(nil, o, step)
+				held = append(held, f)
+			}
+		case 2:
+			if len(held) > 0 {
+				i := next(len(held))
+				p.Free(held[i], FreedRelease)
+				held = append(held[:i], held[i+1:]...)
+			}
+		case 3:
+			p.OfflineNode(next(nodes), 1+next(5))
+		case 4:
+			p.OnlineNode(next(nodes), 1+next(5))
+		case 5:
+			if next(2) == 0 {
+				p.Offline(1 + next(5))
+			} else {
+				p.Online(1 + next(5))
+			}
+		}
+		if err := p.ValidateFreeLists(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for i := 0; i < p.NumFrames(); i++ {
+			f := p.Frame(FrameID(i))
+			want := !f.OnFreeList() && !f.IsOffline()
+			if p.FrameAllocated(i) != want {
+				t.Fatalf("step %d: frame %d bitmap %v, frame state %v",
+					step, i, p.FrameAllocated(i), want)
+			}
+			if f.IsOffline() && f.Owner != nil {
+				t.Fatalf("step %d: offline frame %d retains identity", step, i)
+			}
+		}
+		start := next(p.NumFrames())
+		if got, want := p.NextAllocated(start), refNextAllocated(p, start); got != want {
+			t.Fatalf("step %d: NextAllocated(%d) = %d, reference scan = %d", step, start, got, want)
+		}
+		node := next(nodes)
+		base, limit := p.NodeRange(node)
+		nstart := base + next(limit-base)
+		if got, want := p.NextAllocatedIn(nstart, base, limit), refNextAllocatedIn(p, nstart, base, limit); got != want {
+			t.Fatalf("step %d: NextAllocatedIn(%d, %d, %d) = %d, reference scan = %d",
+				step, nstart, base, limit, got, want)
 		}
 	}
 }

@@ -13,6 +13,8 @@
 package pageout
 
 import (
+	"strconv"
+
 	"memhogs/internal/chaos"
 	"memhogs/internal/disk"
 	"memhogs/internal/events"
@@ -60,7 +62,13 @@ type Daemon struct {
 
 	ases   []*vm.AS
 	donors []Donor
-	hand   int
+
+	// The daemon owns one node's frame region [base, limit); its clock
+	// hand never leaves it. With one node the region is the whole pool.
+	node        int
+	base, limit int
+	hand        int
+	name        string // "pageoutd" on node 0, "pageoutd<k>" elsewhere
 
 	wake    *sim.Waitq
 	kicked  bool
@@ -87,29 +95,59 @@ type Daemon struct {
 }
 
 // reportSkips feeds n skipped positions starting at from into the test
-// hook; a no-op in production.
-func (d *Daemon) reportSkips(from, n, nf int) {
+// hook, wrapping within the daemon's region; a no-op in production.
+func (d *Daemon) reportSkips(from, n int) {
 	if d.testVisit == nil {
 		return
 	}
+	rs := d.limit - d.base
 	for k := 0; k < n; k++ {
-		d.testVisit((from+k)%nf, false)
+		d.testVisit(d.base+(from-d.base+k)%rs, false)
 	}
 }
 
-// NewDaemon creates the paging daemon; Start must be called with the
-// daemon's execution context before the simulation runs.
+// NewDaemon creates the node-0 paging daemon (with an unsharded pool,
+// the daemon for all of physical memory); Start must be called with
+// the daemon's execution context before the simulation runs.
 func NewDaemon(s *sim.Sim, phys *mem.Phys, disks *disk.Array, cfg DaemonConfig) *Daemon {
+	return NewNodeDaemon(s, phys, disks, cfg, 0)
+}
+
+// NewNodeDaemon creates the paging daemon for one memory node: its
+// clock sweeps only that node's frame region and its free-memory
+// thresholds apply to that node's free list.
+func NewNodeDaemon(s *sim.Sim, phys *mem.Phys, disks *disk.Array, cfg DaemonConfig, node int) *Daemon {
+	base, limit := phys.NodeRange(node)
 	d := &Daemon{
 		sim:     s,
 		phys:    phys,
 		disks:   disks,
 		cfg:     cfg,
+		node:    node,
+		base:    base,
+		limit:   limit,
+		hand:    base,
+		name:    daemonName("pageoutd", node),
 		wake:    sim.NewWaitq("pageout.wake"),
 		Enabled: true,
 	}
 	return d
 }
+
+// daemonName keeps the historical node-0 process names ("pageoutd",
+// "releaserd") and suffixes the node index elsewhere.
+func daemonName(base string, node int) string {
+	if node == 0 {
+		return base
+	}
+	return base + strconv.Itoa(node)
+}
+
+// Node returns the memory node this daemon serves.
+func (d *Daemon) Node() int { return d.node }
+
+// free is the daemon's view of free memory: its own node's free list.
+func (d *Daemon) free() int { return d.phys.FreeCountNode(d.node) }
 
 // Register adds an address space to the daemon's scan set.
 func (d *Daemon) Register(as *vm.AS) { d.ases = append(d.ases, as) }
@@ -128,7 +166,7 @@ func (d *Daemon) Kick() {
 // Start launches the daemon process. mk builds the daemon's execution
 // context (CPU accounting) from its simulated process.
 func (d *Daemon) Start(mk func(*sim.Proc) vm.Exec) {
-	d.sim.Spawn("pageoutd", func(p *sim.Proc) {
+	d.sim.Spawn(d.name, func(p *sim.Proc) {
 		d.exec = mk(p)
 		d.loop(p)
 	})
@@ -138,7 +176,7 @@ func (d *Daemon) needed() bool {
 	if !d.Enabled {
 		return false
 	}
-	if d.phys.FreeCount() < d.cfg.MinFree {
+	if d.free() < d.cfg.MinFree {
 		return true
 	}
 	for _, as := range d.ases {
@@ -160,10 +198,10 @@ func (d *Daemon) loop(p *sim.Proc) {
 		}
 		d.kicked = false
 		d.Stats.Activations++
-		d.Events.Emit(events.DaemonWake, "pageoutd", "", -1, int64(d.phys.FreeCount()), 0)
+		d.Events.Emit(events.DaemonWake, d.name, "", -1, int64(d.free()), 0)
 		// Chaos: a steal storm inflates this activation's target, so
 		// the clock reclaims far past desfree (over-eager vhand).
-		d.stormExtra = d.Chaos.FireExtra(chaos.DaemonStorm, "pageoutd")
+		d.stormExtra = d.Chaos.FireExtra(chaos.DaemonStorm, d.name)
 		d.scan(p)
 		d.stormExtra = 0
 	}
@@ -179,9 +217,9 @@ func (d *Daemon) target() int { return d.cfg.TargetFree + d.stormExtra }
 // spare the clock (and everyone else's pages).
 func (d *Daemon) scan(p *sim.Proc) {
 	d.askDonors(p)
-	limit := 2 * d.phys.NumFrames()
+	limit := 2 * (d.limit - d.base)
 	scanned := 0
-	for d.phys.FreeCount() < d.target() && scanned < limit {
+	for d.free() < d.target() && scanned < limit {
 		n := d.scanBatch(p)
 		scanned += n
 		if n == 0 {
@@ -195,7 +233,7 @@ func (d *Daemon) scan(p *sim.Proc) {
 // victims from cooperating processes and reclaim exactly those.
 func (d *Daemon) askDonors(p *sim.Proc) {
 	for _, dn := range d.donors {
-		need := d.target() - d.phys.FreeCount()
+		need := d.target() - d.free()
 		if need <= 0 {
 			return
 		}
@@ -212,7 +250,7 @@ func (d *Daemon) askDonors(p *sim.Proc) {
 				continue
 			}
 			d.Stats.Donated++
-			d.Events.Emit(events.DaemonDonated, "pageoutd", dn.AS.OwnerName(), vpn, int64(d.phys.FreeCount()), 0)
+			d.Events.Emit(events.DaemonDonated, d.name, dn.AS.OwnerName(), vpn, int64(d.free()), 0)
 			if dirty {
 				d.Stats.Writebacks++
 				dn.AS.Stats.Writebacks++
@@ -237,25 +275,25 @@ func (d *Daemon) askDonors(p *sim.Proc) {
 //
 //simvet:hot
 func (d *Daemon) scanBatch(p *sim.Proc) int {
-	nf := d.phys.NumFrames()
+	rs := d.limit - d.base
 	// Find the first frame owned by an address space, starting at the
 	// hand. No virtual time passes in this search, so finding nothing
 	// is a stable outcome for the whole sweep: report no progress and
 	// let the sweep end.
 	var as *vm.AS
 	pos := d.hand
-	for tries := 0; tries < nf; tries++ {
-		i := d.phys.NextAllocated(pos)
+	for tries := 0; tries < rs; tries++ {
+		i := d.phys.NextAllocatedIn(pos, d.base, d.limit)
 		if i < 0 {
 			break
 		}
 		if a, ok := d.phys.Frame(mem.FrameID(i)).Owner.(*vm.AS); ok {
-			d.reportSkips(d.hand, (i-d.hand+nf)%nf, nf)
+			d.reportSkips(d.hand, (i-d.hand+rs)%rs)
 			d.hand = i
 			as = a
 			break
 		}
-		pos = (i + 1) % nf
+		pos = d.base + (i+1-d.base)%rs
 	}
 	if as == nil {
 		return 0 // nothing scannable anywhere
@@ -269,21 +307,21 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			// A run of free or offline frames: skip straight to the
 			// next allocated frame (or spend the rest of the budget).
 			gap := d.cfg.Batch - processed
-			if next := d.phys.NextAllocated(i); next >= 0 {
-				if dist := (next - i + nf) % nf; dist > 0 && dist < gap {
+			if next := d.phys.NextAllocatedIn(i, d.base, d.limit); next >= 0 {
+				if dist := (next - i + rs) % rs; dist > 0 && dist < gap {
 					gap = dist
 				}
 			}
-			d.reportSkips(i, gap, nf)
-			d.hand = (i + gap) % nf
+			d.reportSkips(i, gap)
+			d.hand = d.base + (i+gap-d.base)%rs
 			processed += gap
 			continue
 		}
 		f := d.phys.Frame(mem.FrameID(i))
 		if f.Owner == nil {
 			// Allocated but anonymous; pass over it.
-			d.reportSkips(i, 1, nf)
-			d.hand = (i + 1) % nf
+			d.reportSkips(i, 1)
+			d.hand = d.base + (i+1-d.base)%rs
 			processed++
 			continue
 		}
@@ -294,7 +332,7 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			// starts here under that space's lock.
 			break
 		}
-		d.hand = (i + 1) % nf
+		d.hand = d.base + (i+1-d.base)%rs
 		processed++
 		if d.testVisit != nil {
 			d.testVisit(i, true)
@@ -312,7 +350,7 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			// a soft fault to revalidate it.
 			as.ClearValid(vpn, vm.InvalidDaemon)
 			d.Stats.Invalidations++
-			d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 0, 0)
+			d.Events.Emit(events.DaemonClear, d.name, as.OwnerName(), vpn, 0, 0)
 			continue
 		}
 		if pte.Why != vm.InvalidDaemon {
@@ -321,21 +359,21 @@ func (d *Daemon) scanBatch(p *sim.Proc) int {
 			// outright.
 			as.MarkClockCandidate(vpn)
 			d.Stats.Invalidations++
-			d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 1, 0)
+			d.Events.Emit(events.DaemonClear, d.name, as.OwnerName(), vpn, 1, 0)
 			continue
 		}
 		// Still invalid since the last pass: steal it.
 		freed, dirty := as.TryReclaim(vpn, mem.FreedDaemon)
 		if freed {
 			d.Stats.Stolen++
-			d.Events.Emit(events.DaemonSteal, "pageoutd", as.OwnerName(), vpn, int64(d.phys.FreeCount()), 0)
+			d.Events.Emit(events.DaemonSteal, d.name, as.OwnerName(), vpn, int64(d.free()), 0)
 			if dirty {
 				d.Stats.Writebacks++
 				as.Stats.Writebacks++
 				//simvet:allow SV006 one request record per writeback; the disk queue owns it
 				d.disks.Submit(as.WritebackSwapPage(vpn), &disk.Request{Op: disk.Write})
 			}
-			if d.phys.FreeCount() >= d.target() {
+			if d.free() >= d.target() {
 				break
 			}
 		}
@@ -356,7 +394,7 @@ func (d *Daemon) trimMaxRSS(p *sim.Proc) {
 			continue
 		}
 		d.Stats.Activations++
-		d.Events.Emit(events.DaemonWake, "pageoutd", as.OwnerName(), -1, int64(d.phys.FreeCount()), 1)
+		d.Events.Emit(events.DaemonWake, d.name, as.OwnerName(), -1, int64(d.free()), 1)
 		as.Memlock.Acquire(p)
 		// Walk resident pages word-at-a-time over the residency bitmap;
 		// everything it skips is exactly what the per-PTE walk skipped
@@ -371,20 +409,20 @@ func (d *Daemon) trimMaxRSS(p *sim.Proc) {
 			if pte.Valid {
 				as.ClearValid(vpn, vm.InvalidDaemon)
 				d.Stats.Invalidations++
-				d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 0, 0)
+				d.Events.Emit(events.DaemonClear, d.name, as.OwnerName(), vpn, 0, 0)
 				continue
 			}
 			if pte.Why != vm.InvalidDaemon {
 				as.MarkClockCandidate(vpn)
 				d.Stats.Invalidations++
-				d.Events.Emit(events.DaemonClear, "pageoutd", as.OwnerName(), vpn, 1, 0)
+				d.Events.Emit(events.DaemonClear, d.name, as.OwnerName(), vpn, 1, 0)
 				continue
 			}
 			freed, dirty := as.TryReclaim(vpn, mem.FreedDaemon)
 			if freed {
 				d.Stats.Stolen++
 				d.Stats.Trims++
-				d.Events.Emit(events.DaemonSteal, "pageoutd", as.OwnerName(), vpn, int64(d.phys.FreeCount()), 1)
+				d.Events.Emit(events.DaemonSteal, d.name, as.OwnerName(), vpn, int64(d.free()), 1)
 				if dirty {
 					d.Stats.Writebacks++
 					as.Stats.Writebacks++

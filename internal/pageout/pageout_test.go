@@ -43,7 +43,7 @@ func newRig(frames int) *rig {
 		PerPage: 6 * sim.Microsecond, Batch: 16,
 	})
 	phys.LowWater = 4
-	phys.NeedMemory = daemon.Kick
+	phys.NeedMemory = func(int) { daemon.Kick() }
 	releaser := NewReleaser(s, dk, ReleaserConfig{PerPage: 2 * sim.Microsecond, Batch: 8})
 	daemon.Start(func(p *sim.Proc) vm.Exec { return &testExec{proc: p} })
 	releaser.Start(func(p *sim.Proc) vm.Exec { return &testExec{proc: p} })

@@ -41,6 +41,8 @@ type Releaser struct {
 	cfg   ReleaserConfig
 	exec  vm.Exec
 
+	node  int
+	name  string // "releaserd" on node 0, "releaserd<k>" elsewhere
 	queue []releaseReq
 	wake  *sim.Waitq
 
@@ -53,21 +55,33 @@ type Releaser struct {
 	Chaos *chaos.Injector
 }
 
-// NewReleaser creates the releaser; Start must be called before the
-// simulation runs.
+// NewReleaser creates the node-0 releaser; Start must be called
+// before the simulation runs.
 func NewReleaser(s *sim.Sim, disks *disk.Array, cfg ReleaserConfig) *Releaser {
+	return NewNodeReleaser(s, disks, cfg, 0)
+}
+
+// NewNodeReleaser creates the releaser daemon serving one memory
+// node's processes (each process enqueues to its home node's
+// releaser).
+func NewNodeReleaser(s *sim.Sim, disks *disk.Array, cfg ReleaserConfig, node int) *Releaser {
 	return &Releaser{
 		sim:   s,
 		disks: disks,
 		cfg:   cfg,
+		node:  node,
+		name:  daemonName("releaserd", node),
 		wake:  sim.NewWaitq("releaser.wake"),
 	}
 }
 
+// Node returns the memory node this releaser serves.
+func (r *Releaser) Node() int { return r.node }
+
 // Start launches the releaser process. mk builds the releaser's
 // execution context (CPU accounting) from its simulated process.
 func (r *Releaser) Start(mk func(*sim.Proc) vm.Exec) {
-	r.sim.Spawn("releaserd", func(p *sim.Proc) {
+	r.sim.Spawn(r.name, func(p *sim.Proc) {
 		r.exec = mk(p)
 		r.loop(p)
 	})
@@ -97,7 +111,7 @@ func (r *Releaser) loop(p *sim.Proc) {
 		// Chaos: a stalled releaser sits on the request while the
 		// queue grows; the pages stay resident and the paging daemon
 		// has to pick up the slack — degraded, never corrupted.
-		if stall := r.Chaos.FireDelay(chaos.ReleaserStall, "releaserd"); stall > 0 {
+		if stall := r.Chaos.FireDelay(chaos.ReleaserStall, r.name); stall > 0 {
 			p.Sleep(stall)
 		}
 		r.handle(p, req)
@@ -122,7 +136,7 @@ func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
 			pte := req.as.PTE(vpn)
 			if !pte.Present || pte.Busy {
 				r.Stats.SkippedGone++
-				r.Events.Emit(events.ReleaserSkipGone, "releaserd", req.as.OwnerName(), vpn, 0, 0)
+				r.Events.Emit(events.ReleaserSkipGone, r.name, req.as.OwnerName(), vpn, 0, 0)
 				continue
 			}
 			if pte.Valid {
@@ -131,7 +145,7 @@ func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
 				// a prefetch or a real reference) since the time of
 				// the request".
 				r.Stats.SkippedRef++
-				r.Events.Emit(events.ReleaserSkipRef, "releaserd", req.as.OwnerName(), vpn, 0, 0)
+				r.Events.Emit(events.ReleaserSkipRef, r.name, req.as.OwnerName(), vpn, 0, 0)
 				continue
 			}
 			freed, dirty := req.as.TryReclaim(vpn, mem.FreedRelease)
@@ -141,7 +155,7 @@ func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
 				if dirty {
 					d = 1
 				}
-				r.Events.Emit(events.ReleaserFree, "releaserd", req.as.OwnerName(), vpn, 0, d)
+				r.Events.Emit(events.ReleaserFree, r.name, req.as.OwnerName(), vpn, 0, d)
 				if dirty {
 					r.Stats.Writebacks++
 					req.as.Stats.Writebacks++

@@ -208,7 +208,9 @@ func New(p *kernel.Process, pm *pdpm.PM, cfg Config) *Layer {
 		}
 	}
 	if cfg.Mode == ModeReactive {
-		p.Sys.Daemon.RegisterDonor(pageout.Donor{AS: p.AS, Pick: l.donate})
+		// Donate to the process's home-node daemon: that is the clock
+		// that sweeps (and would otherwise steal from) this space.
+		p.HomeDaemon().RegisterDonor(pageout.Donor{AS: p.AS, Pick: l.donate})
 	}
 	return l
 }

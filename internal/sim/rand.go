@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Rand is a small deterministic pseudo-random generator
 // (xorshift64star). Every stochastic component of the model owns its
 // own Rand seeded from the run configuration, so that runs are
@@ -44,6 +46,23 @@ func (r *Rand) Duration(lo, hi Time) Time {
 		return lo
 	}
 	return lo + Time(r.Uint64()%uint64(hi-lo))
+}
+
+// Exp returns a pseudo-random exponentially distributed Time with the
+// given mean (an open-loop Poisson arrival process's inter-arrival
+// gap). The draw uses -mean*ln(1-U) with U in [0, 1), so it is fully
+// deterministic per stream and never negative.
+func (r *Rand) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// ln(1-u) is finite because u < 1.
+	d := -float64(mean) * math.Log(1-u)
+	if d >= float64(1<<62) {
+		return 1 << 62
+	}
+	return Time(d)
 }
 
 // Hash64 is a deterministic stateless mixer used to derive data values

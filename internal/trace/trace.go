@@ -85,8 +85,8 @@ func (r *Recorder) sample() {
 	s := Sample{
 		At:        r.sys.Now(),
 		FreePages: r.sys.Phys.FreeCount(),
-		Stolen:    r.sys.Daemon.Stats.Stolen,
-		Released:  r.sys.Releaser.Stats.Freed,
+		Stolen:    r.sys.DaemonStats().Stolen,
+		Released:  r.sys.ReleaserStats().Freed,
 	}
 	for _, p := range procs {
 		s.Resident = append(s.Resident, p.AS.Resident)

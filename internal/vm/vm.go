@@ -462,6 +462,16 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		as.Stats.RescueFaults++
 		as.Events.Emit(events.FaultRescue, as.name, "", vpn, 0, 0)
 		x.System(as.params.RescueTime)
+		if pte.Frame == mem.NoFrame {
+			// Charging the rescue time descheduled us, and another
+			// process's Alloc took the frame off the free list and
+			// invalidated the mapping (FrameInvalidated does not take
+			// the memory lock). The rescue has failed; retry the
+			// fault from scratch — it will take the hard-fault path.
+			as.Memlock.Release(p)
+			as.notifyActivity()
+			return as.fault(x, vpn, write)
+		}
 		as.phys.Rescue(as.phys.Frame(pte.Frame))
 		as.setPresent(pte, vpn, true)
 		as.setValid(pte, vpn, true)

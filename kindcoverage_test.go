@@ -40,6 +40,32 @@ func coverageRun(t *testing.T, bench string, mode rt.Mode, mut func(*driver.RunC
 	return rec.Counts()
 }
 
+// tenantCoverageRun runs a small sharded multi-tenant experiment, the
+// only reachable source of the NUMA kinds (alloc-local, alloc-remote,
+// balancer-migrate).
+func tenantCoverageRun(t *testing.T) events.Counts {
+	t.Helper()
+	spec, err := workload.ScaledByName("matvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *events.Recorder
+	cfg := driver.DefaultTenantConfig(rt.ModeOriginal)
+	cfg.Kernel = kernel.TestConfig()
+	cfg.Kernel.Nodes = 4
+	cfg.JobPages = 16
+	cfg.MeanInterarrival = 100 * sim.Millisecond
+	cfg.Horizon = 5 * sim.Second
+	cfg.OnSystem = func(sys *kernel.System) {
+		rec = events.New(sys.Sim, 1<<18)
+		sys.SetEvents(rec)
+	}
+	if _, err := driver.RunTenants(spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Counts()
+}
+
 // TestEveryEventKindObservable asserts that every registered kind is
 // produced by at least one run in the matrix below. If this fails
 // after adding a kind, either instrument the new decision point or
@@ -85,6 +111,12 @@ func TestEveryEventKindObservable(t *testing.T) {
 		c.RT.MaxPfQueue = 1
 		c.RT.Workers = 1
 	}))
+
+	// A NUMA-sharded multi-tenant run is the only producer of the
+	// node-placement kinds: alloc-local/alloc-remote are emitted only
+	// when nodes > 1, and balancer-migrate needs the inter-node
+	// balancer to move free frames between regions.
+	add(tenantCoverageRun(t))
 
 	for k := events.Kind(0); k < events.KindCount; k++ {
 		if k.String() == "unknown" {

@@ -605,6 +605,32 @@ func Sensitivity(bench string, quick bool, progress io.Writer) (string, error) {
 	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Sensitivity(bench)
 }
 
+// Tenants runs the multi-tenant datacenter-node campaign: a
+// NUMA-sharded machine (per-node free lists, clock daemons and
+// releasers, plus an inter-node free-frame balancer) where a hog
+// population collides with an open-loop stream of short interactive
+// jobs. The table reports the job response-time tail (p50/p99/p999)
+// per benchmark and program version, with the node-local/remote
+// allocation split and balancer traffic that produced it. benches
+// filters the hog benchmark set (none = all six).
+func (c Campaign) Tenants(benches ...string) (string, error) {
+	o := c.opts()
+	if len(benches) > 0 {
+		o.Benches = benches
+	}
+	m, err := experiments.RunMultiTenant(o)
+	if err != nil {
+		return "", err
+	}
+	return experiments.TenantTable(m).String(), nil
+}
+
+// Tenants runs Campaign.Tenants serially. quick uses the scaled
+// machine and benchmarks.
+func Tenants(quick bool, progress io.Writer, benches ...string) (string, error) {
+	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Tenants(benches...)
+}
+
 // Timeline runs one benchmark version with a concurrent interactive
 // task and returns an ASCII timeline of the memory system's dynamics:
 // free pages, per-process resident sets, and cumulative daemon and
