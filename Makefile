@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet simvet certify lint bench bench-compare examples experiments tenants verify golden trace chaos fuzz clean
+.PHONY: all build test vet hogvet simvet certify lint bench bench-compare examples experiments tenants tiering verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -87,6 +87,16 @@ tenants: build
 	@cmp /tmp/memhog-tenants-j1.txt /tmp/memhog-tenants-j4.txt
 	@cat /tmp/memhog-tenants-j1.txt
 	@echo "tenants: deterministic at any -j"
+
+# Memory-tiering smoke: the DRAM:far sweep on the scaled machine must
+# produce byte-identical tables at any worker count (the command also
+# fails if Buffered ever takes more hard faults than Original).
+tiering: build
+	@go run ./cmd/memhog -quick -quiet -j 1 tiering > /tmp/memhog-tiering-j1.txt
+	@go run ./cmd/memhog -quick -quiet -j 4 tiering > /tmp/memhog-tiering-j4.txt
+	@cmp /tmp/memhog-tiering-j1.txt /tmp/memhog-tiering-j4.txt
+	@cat /tmp/memhog-tiering-j1.txt
+	@echo "tiering: deterministic at any -j"
 
 # Check the paper's claims at full scale; exits non-zero on failure.
 verify:

@@ -625,9 +625,61 @@ func BenchmarkSimMatrix(b *testing.B) {
 		})
 	}
 
+	// The tiering cells: FFTPDE under buffered releasing with the same
+	// total budget split DRAM:far at each campaign ratio. 1:0 measures
+	// the far-tier code's overhead on an all-DRAM machine; the other
+	// ratios exercise the demote/promote paths under real traffic.
+	for _, ratio := range experiments.TieringRatios {
+		ratio := ratio
+		b.Run("tiering/B@"+ratio.String(), func(b *testing.B) {
+			spec, err := workload.ScaledByName("fftpde")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last simCell
+			for i := 0; i < b.N; i++ {
+				var rec *events.Recorder
+				cfg := driver.TestRunConfig(rt.ModeBuffered)
+				cfg.RT = rt.DefaultConfig(rt.ModeBuffered)
+				dram, far := ratio.Split(cfg.Kernel.UserMemPages)
+				cfg.Kernel.UserMemPages = dram
+				cfg.Kernel.Far.Pages = far
+				cfg.OnSystem = func(sys *kernel.System) {
+					rec = events.New(sys.Sim, 1<<16)
+					sys.SetEvents(rec)
+				}
+				start := time.Now()
+				r, err := driver.Run(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall := time.Since(start).Seconds()
+				var emitted int64
+				counts := rec.Counts()
+				for k := events.Kind(0); k < events.KindCount; k++ {
+					emitted += counts.Get(k)
+				}
+				last = simCell{
+					Bench:      "tiering",
+					Version:    "B@" + ratio.String(),
+					Events:     emitted,
+					VirtualSec: r.Elapsed.Seconds(),
+					WallSec:    wall,
+				}
+				if wall > 0 {
+					last.EventsPerSec = float64(emitted) / wall
+					last.VirtualPerWall = last.VirtualSec / wall
+				}
+				b.ReportMetric(last.EventsPerSec, "ev/s")
+				b.ReportMetric(last.VirtualPerWall, "vsec/s")
+			}
+			cells = append(cells, last)
+		})
+	}
+
 	// A -bench filter that selects only some cells must not publish a
 	// partial artifact.
-	if len(cells) != (len(workload.AllScaled())+1)*len(experiments.Modes) {
+	if len(cells) != (len(workload.AllScaled())+1)*len(experiments.Modes)+len(experiments.TieringRatios) {
 		return
 	}
 	data, err := json.MarshalIndent(cells, "", "  ")

@@ -16,6 +16,7 @@
 //	                            # deterministic fault injection + auditing
 //	memhog chaosmatrix [-seed N] # benchmarks × versions × fault classes
 //	memhog sensitivity <benchmark>         # memory-size sweep
+//	memhog tiering [benchmark...]          # DRAM:far-tier ratio sweep
 //	memhog duel <a> <b>         # two memory hogs sharing the machine
 //	memhog list                 # benchmark names
 //
@@ -74,6 +75,7 @@ var commands = []command{
 	{"chaosmatrix", "[-seed N]", "benchmarks × versions × fault classes campaign; exit 1 if any cell wedges or fails its audits", (*app).cmdChaosMatrix},
 	{"sensitivity", "<bench>", "memory-size sweep (P vs B crossover)", (*app).cmdSensitivity},
 	{"tenants", "[bench...]", "NUMA-sharded node: hogs vs open-loop job stream, response-time tail", (*app).cmdTenants},
+	{"tiering", "[bench...]", "DRAM:far-tier sweep: releases as demotion hints across memory splits", (*app).cmdTiering},
 	{"duel", "<a> <b>", "two memory hogs sharing the machine", (*app).cmdDuel},
 	{"verify", "", "check the paper's claims, exit 1 on failure", (*app).cmdVerify},
 	{"list", "", "benchmark names", (*app).cmdList},
@@ -233,6 +235,18 @@ func (a *app) cmdTenants() {
 		benches = append(benches, flag.Arg(i))
 	}
 	out, err := a.campaign.Tenants(benches...)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(out)
+}
+
+func (a *app) cmdTiering() {
+	var benches []string
+	for i := 1; i < flag.NArg(); i++ {
+		benches = append(benches, flag.Arg(i))
+	}
+	out, err := a.campaign.Tiering(benches...)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -93,6 +93,72 @@ func TestTraceEventCountsMatchRunStats(t *testing.T) {
 	}
 }
 
+// TestTieringCountersMatchRunStats is the same acceptance criterion
+// for the far-memory tier: on a machine whose budget is split
+// DRAM:far, the recorder's tier-demote/tier-promote/fault-far totals
+// must equal the VM, releaser and far-tier statistics — and the run
+// must actually exercise the tier, or the comparison is vacuous.
+func TestTieringCountersMatchRunStats(t *testing.T) {
+	spec, err := workload.ScaledByName("fftpde")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *events.Recorder
+	var sysFar *kernel.System
+	cfg := driver.TestRunConfig(rt.ModeBuffered)
+	cfg.Kernel.UserMemPages -= 64
+	cfg.Kernel.Far.Pages = 64
+	cfg.OnSystem = func(sys *kernel.System) {
+		sysFar = sys
+		rec = events.New(sys.Sim, 1<<18)
+		sys.SetEvents(rec)
+	}
+	res, err := driver.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rec.Counts()
+	checks := []struct {
+		kind events.Kind
+		want int64
+	}{
+		{events.TierDemote, res.VM.Demotions},
+		{events.TierDemote, res.Releaser.Demoted},
+		{events.TierDemote, res.Far.Demotions},
+		{events.TierPromote, res.VM.Promotions},
+		{events.TierPromote, res.Far.Promotions},
+	}
+	for _, ck := range checks {
+		if got := c.Get(ck.kind); got != ck.want {
+			t.Errorf("counts[%s] = %d, want %d (layer stat)", ck.kind, got, ck.want)
+		}
+	}
+	// Every far fault promotes, and prefetch may promote more; the
+	// promote total splits exactly across the two paths.
+	if got, want := c.Get(events.FaultFar), res.VM.FarFaults; got != want {
+		t.Errorf("counts[fault-far] = %d, want %d (VM.FarFaults)", got, want)
+	}
+	if res.VM.Promotions != res.VM.FarFaults+res.PM.PrefetchPromoted {
+		t.Errorf("promotions %d != far faults %d + prefetch promotions %d",
+			res.VM.Promotions, res.VM.FarFaults, res.PM.PrefetchPromoted)
+	}
+	if c.Get(events.TierDemote) == 0 {
+		t.Fatal("trivial run: nothing demoted to the far tier")
+	}
+	if c.Get(events.TierPromote) == 0 {
+		t.Fatal("trivial run: nothing promoted back from the far tier")
+	}
+	// End-of-run conservation: pages still in the tier are exactly
+	// demotions minus promotions, and the audit must agree.
+	if live := res.Far.Demotions - res.Far.Promotions; live != int64(sysFar.Far.UsedCount()) {
+		t.Errorf("far tier holds %d pages, demotions-promotions says %d",
+			sysFar.Far.UsedCount(), live)
+	}
+	if err := sysFar.Audit(); err != nil {
+		t.Errorf("post-run audit: %v", err)
+	}
+}
+
 // chromeDoc is the subset of the Chrome trace-event format the tests
 // inspect.
 type chromeDoc struct {

@@ -95,7 +95,10 @@ var pairing = map[string][]string{
 // timeline (mem hot-unplug/replug), so no package outside chaos ever
 // calls Fire for them; the whole-program "never injected" check
 // exempts them.
-var engineScheduled = map[string]bool{"MemShrink": true, "MemGrow": true}
+var engineScheduled = map[string]bool{
+	"MemShrink": true, "MemGrow": true,
+	"FarShrink": true, "FarGrow": true,
+}
 
 // facadePath is the module-root package whose pass performs the
 // whole-program registry checks; it transitively imports every

@@ -65,6 +65,18 @@ const (
 	// MemGrow brings hot-unplugged frames back online (magnitude:
 	// pages).
 	MemGrow
+	// FarSlow adds a latency spike to a far-tier promotion (magnitude:
+	// extra delay).
+	FarSlow
+	// FarDrop loses a demotion decision: the released page goes to swap
+	// even though its priority earned a far-tier slot.
+	FarDrop
+	// FarShrink hot-unplugs free far-tier slots at a scheduled time
+	// (magnitude: slots to take offline).
+	FarShrink
+	// FarGrow brings hot-unplugged far-tier slots back online
+	// (magnitude: slots).
+	FarGrow
 	NumSites
 )
 
@@ -81,6 +93,10 @@ var siteNames = [NumSites]string{
 	DiskError:     "disk-error",
 	MemShrink:     "mem-shrink",
 	MemGrow:       "mem-grow",
+	FarSlow:       "far-slow",
+	FarDrop:       "far-drop",
+	FarShrink:     "far-shrink",
+	FarGrow:       "far-grow",
 }
 
 // durationSite marks sites whose magnitude is a duration (plan
@@ -89,6 +105,7 @@ var durationSite = [NumSites]bool{
 	ReleaserStall: true,
 	DiskSlow:      true,
 	DiskError:     true,
+	FarSlow:       true,
 }
 
 // timedSite marks sites that fire at a scheduled time rather than
@@ -96,6 +113,8 @@ var durationSite = [NumSites]bool{
 var timedSite = [NumSites]bool{
 	MemShrink: true,
 	MemGrow:   true,
+	FarShrink: true,
+	FarGrow:   true,
 }
 
 // defaultMag is the magnitude used when a fault leaves Mag zero.
@@ -106,6 +125,9 @@ var defaultMag = [NumSites]int64{
 	DiskError:     int64(2 * sim.Millisecond),
 	MemShrink:     64,
 	MemGrow:       64,
+	FarSlow:       int64(1 * sim.Millisecond),
+	FarShrink:     32,
+	FarGrow:       32,
 }
 
 // String returns the site's stable plan-string name.
@@ -142,6 +164,19 @@ type Fault struct {
 type Plan struct {
 	Seed   uint64
 	Faults []Fault
+}
+
+// TargetsFar reports whether any fault in the plan arms a far-tier
+// site. Such plans only do anything on a machine configured with a
+// far tier; callers without one use this to enable it.
+func (p Plan) TargetsFar() bool {
+	for _, f := range p.Faults {
+		switch f.Site {
+		case FarSlow, FarDrop, FarShrink, FarGrow:
+			return true
+		}
+	}
+	return false
 }
 
 // Counts is the per-site number of injected faults.
@@ -359,6 +394,58 @@ func (in *Injector) ScheduleMem(phys *mem.Phys, maxOffline int, kick func(node i
 				}
 				if got > 0 {
 					in.inject(MemGrow, "chaos", -1, int64(got))
+				}
+			})
+		}
+	}
+}
+
+// ScheduleFar arms the plan's timed far-shrink/grow faults against the
+// far tier. Only free slots can go offline (demoted pages stay where
+// they are, as on a real device being drained), so a shrink takes what
+// is drainable now and retries on the ScheduleMem cadence — promotions
+// replenish the free stacks — until it reaches its magnitude or the
+// maxOffline cap. A no-op when the run has no far tier, which is what
+// keeps far faults in an "all" plan inert on far-disabled runs.
+func (in *Injector) ScheduleFar(far *mem.FarTier, maxOffline int) {
+	if in == nil || far == nil {
+		return
+	}
+	for _, f := range in.timed {
+		f := f
+		mag := f.Mag
+		if mag == 0 {
+			mag = defaultMag[f.Site]
+		}
+		at := f.At
+		if at == 0 {
+			at = f.After
+		}
+		switch f.Site {
+		case FarShrink:
+			remaining := int(mag)
+			var step func()
+			step = func() {
+				if over := far.OfflineCount() + remaining - maxOffline; over > 0 {
+					remaining -= over
+				}
+				if remaining <= 0 {
+					return
+				}
+				got := far.Offline(remaining)
+				remaining -= got
+				if got > 0 {
+					in.inject(FarShrink, "chaos", -1, int64(got))
+				}
+				if remaining > 0 {
+					in.sim.After(shrinkRetry, step)
+				}
+			}
+			in.sim.At(at, step)
+		case FarGrow:
+			in.sim.At(at, func() {
+				if got := far.Online(int(mag)); got > 0 {
+					in.inject(FarGrow, "chaos", -1, int64(got))
 				}
 			})
 		}

@@ -242,10 +242,16 @@ var classes = map[string][]Fault{
 		{Site: MemShrink, At: 50 * sim.Millisecond},
 		{Site: MemGrow, At: 250 * sim.Millisecond},
 	},
+	"far": {
+		{Site: FarSlow, Prob: 0.05},
+		{Site: FarDrop, Prob: 0.1},
+		{Site: FarShrink, At: 50 * sim.Millisecond},
+		{Site: FarGrow, At: 250 * sim.Millisecond},
+	},
 }
 
 // classOrder fixes the enumeration order for campaigns and help text.
-var classOrder = []string{"hints", "stall", "disk", "stale", "unplug", "all"}
+var classOrder = []string{"hints", "stall", "disk", "stale", "unplug", "far", "all"}
 
 // ClassNames lists the named fault classes in their stable order.
 func ClassNames() []string {

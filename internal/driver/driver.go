@@ -121,6 +121,7 @@ type Result struct {
 	Releaser pageout.ReleaserStats
 	Balancer pageout.BalancerStats
 	Phys     mem.Stats
+	Far      mem.FarStats // zero unless the run had a far tier
 
 	CompileStats compiler.Stats
 	DataBytes    int64
@@ -234,6 +235,11 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 			maxOff = 0
 		}
 		inj.ScheduleMem(sys.Phys, maxOff, sys.KickDaemons)
+		if sys.Far != nil {
+			// Far-tier hot-unplug drains only free slots, so leaving
+			// half the tier as a floor keeps demotions meaningful.
+			inj.ScheduleFar(sys.Far, cfg.Kernel.Far.Pages/2)
+		}
 		if cfg.AuditOnFault {
 			inj.OnFault = func(chaos.Site) { audit() }
 		}
@@ -304,6 +310,7 @@ func RunCompiled(name string, comp *compiler.Compiled, cfg RunConfig) (*Result, 
 	res.Releaser = sys.ReleaserStats()
 	res.Balancer = sys.BalancerStats()
 	res.Phys = sys.Phys.Stats()
+	res.Far = sys.Far.Stats()
 	res.CompileStats = comp.Stats
 	res.DataBytes = img.DataBytes
 	res.TotalPages = img.TotalPages

@@ -51,6 +51,9 @@ const (
 	AllocLocal                    // mem: frame allocated from the owner's home node (A=node)
 	AllocRemote                   // mem: frame stolen from another node (A=home, B=donor)
 	BalancerMigrate               // balancer: free frames migrated (Target=dst node, A=#frames, B=src)
+	FaultFar                      // vm: fault on a far-resident page (promotes, no disk I/O)
+	TierDemote                    // releaser: page demoted DRAM -> far (A=priority, B=1 when dirty)
+	TierPromote                   // vm: page promoted far -> DRAM (A=1 via prefetch, B=1 when dirty)
 	KindCount
 )
 
@@ -82,6 +85,9 @@ var kindNames = [KindCount]string{
 	AllocLocal:        "alloc-local",
 	AllocRemote:       "alloc-remote",
 	BalancerMigrate:   "balancer-migrate",
+	FaultFar:          "fault-far",
+	TierDemote:        "tier-demote",
+	TierPromote:       "tier-promote",
 }
 
 // argLabels gives the A/B values a name in exported output; "" means
@@ -103,6 +109,8 @@ var argLabels = [KindCount][2]string{
 	AllocLocal:      {"node", ""},
 	AllocRemote:     {"home", "donor"},
 	BalancerMigrate: {"frames", "from"},
+	TierDemote:      {"prio", "dirty"},
+	TierPromote:     {"prefetch", "dirty"},
 }
 
 // String returns the kind's stable exported name.

@@ -90,6 +90,17 @@ func RunChaosMatrix(o Opts, seed uint64) (*ChaosMatrix, error) {
 							AuditEvery:       o.chaosAuditEvery(),
 							AuditOnFault:     true,
 						}
+						// The far class aims its faults at the far
+						// tier, so its cells must run with one: split
+						// the budget 3:1 like the tiering campaign's
+						// first split. Other classes keep the all-DRAM
+						// machine, leaving their cells untouched by
+						// the tier's existence.
+						if class == "far" {
+							dram, far := (TierRatio{3, 1}).Split(cfg.Kernel.UserMemPages)
+							cfg.Kernel.UserMemPages = dram
+							cfg.Kernel.Far.Pages = far
+						}
 						r, err := driver.Run(spec, cfg)
 						if err != nil {
 							return fmt.Errorf("chaos %s/%s/%s: %w", spec.Name, class, mode, err)

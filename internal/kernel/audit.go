@@ -29,6 +29,13 @@ import (
 //     page-in registered in flight; the in-flight registry has no
 //     entries beyond the Busy PTEs.
 //  6. Free + offline + resident + in-transit frames = total frames.
+//  7. Every page is resident in exactly one tier: a far-resident PTE
+//     is not Present, not Busy, names no DRAM frame (not even a
+//     rescuable one), and points at an in-use far slot carrying its
+//     identity; no two PTEs share a slot; per-AS FarResident counts
+//     reconcile; used far slots = far-resident PTEs + slots kept by
+//     exited owners; and the far tier's own free/offline structures
+//     validate.
 func (sys *System) Audit() error {
 	phys := sys.Phys
 
@@ -93,12 +100,46 @@ func (sys *System) Audit() error {
 	// (which carries their identity but is not yet wired into the
 	// PTE).
 	matched := map[mem.FrameID]bool{}
-	residentTotal, inTransit := 0, 0
+	slotOwners := map[mem.FarSlotID]string{}
+	residentTotal, inTransit, farTotal := 0, 0, 0
 	for _, p := range sys.procs {
 		as := p.AS
-		resident, busy := 0, 0
+		resident, busy, far := 0, 0, 0
 		for vpn := 0; vpn < as.NumPages(); vpn++ {
 			pte := as.PTE(vpn)
+			if pte.FarSlot != mem.NoFarSlot {
+				// Exactly one tier: a far-resident page holds nothing
+				// in DRAM — no mapping, no in-flight page-in, no
+				// rescuable frame.
+				if pte.Present {
+					return fmt.Errorf("audit: %s:%d resident in both DRAM and far tier", p.Name, vpn)
+				}
+				if pte.Busy {
+					return fmt.Errorf("audit: %s:%d busy while far-resident", p.Name, vpn)
+				}
+				if pte.Frame != mem.NoFrame {
+					return fmt.Errorf("audit: %s:%d far-resident but still names frame %d",
+						p.Name, vpn, pte.Frame)
+				}
+				if sys.Far == nil {
+					return fmt.Errorf("audit: %s:%d names far slot %d but the machine has no far tier",
+						p.Name, vpn, pte.FarSlot)
+				}
+				s := sys.Far.Slot(pte.FarSlot)
+				if !s.InUse() {
+					return fmt.Errorf("audit: %s:%d names free far slot %d", p.Name, vpn, s.ID)
+				}
+				if s.Owner == nil || s.Owner.OwnerName() != p.Name || s.VPN != vpn {
+					return fmt.Errorf("audit: %s:%d far slot %d identity mismatch (%v:%d)",
+						p.Name, vpn, s.ID, s.Owner, s.VPN)
+				}
+				if prev, dup := slotOwners[s.ID]; dup {
+					return fmt.Errorf("audit: far slot %d claimed by both %s and %s:%d",
+						s.ID, prev, p.Name, vpn)
+				}
+				slotOwners[s.ID] = fmt.Sprintf("%s:%d", p.Name, vpn)
+				far++
+			}
 			switch {
 			case pte.Busy:
 				busy++
@@ -175,7 +216,29 @@ func (sys *System) Audit() error {
 			return fmt.Errorf("audit: %s has %d busy PTEs but %d in-flight page-ins",
 				p.Name, busy, as.InFlightPageIns())
 		}
+		if far != as.FarResident {
+			return fmt.Errorf("audit: %s far-resident count %d != %d far-slot PTEs",
+				p.Name, as.FarResident, far)
+		}
 		residentTotal += resident
+		farTotal += far
+	}
+
+	// Pass 2b: far-tier conservation. Every in-use slot not claimed by
+	// a PTE would be a leak: processes never exit mid-audit in this
+	// simulator, so used slots and far-resident PTEs must agree
+	// exactly, and the tier's internal free/offline bookkeeping must
+	// validate.
+	if sys.Far != nil {
+		if err := sys.Far.Validate(); err != nil {
+			return fmt.Errorf("audit: %w", err)
+		}
+		if used := sys.Far.UsedCount(); used != farTotal {
+			return fmt.Errorf("audit: far tier holds %d pages but %d PTEs are far-resident",
+				used, farTotal)
+		}
+	} else if farTotal != 0 {
+		return fmt.Errorf("audit: %d far-resident PTEs without a far tier", farTotal)
 	}
 
 	// Pass 3: no allocated frame may be unclaimed (a leak), and the

@@ -34,6 +34,12 @@ type Config struct {
 	MinFreePages    int // min_freemem: daemon wakes below this
 	TargetFreePages int // desfree: daemon steals until free reaches this
 
+	// Far configures the optional far-memory tier between DRAM and
+	// swap. The zero value (Pages == 0) disables it entirely: no tier
+	// is built, no demotions happen, and runs are byte-identical to the
+	// pre-tiering simulator.
+	Far FarConfig
+
 	// Disk subsystem (ten Cheetah 4LP disks, five SCSI adapters).
 	Disk disk.Config
 
@@ -53,6 +59,17 @@ type Config struct {
 	UserFlush sim.Time
 
 	Seed uint64
+}
+
+// FarConfig sizes and prices the CXL-like far-memory tier: byte
+// addressable, a fixed device latency with no positioning cost, and an
+// eq. 2 priority threshold deciding which released pages earn a slot
+// in it instead of going to swap.
+type FarConfig struct {
+	Pages   int      // far-tier capacity in pages; 0 disables the tier
+	Latency sim.Time // fixed promote latency (no positioning cost)
+	CPU     sim.Time // CPU cost of a far fault's bookkeeping
+	MinPrio int      // releases with priority >= MinPrio demote to far, below go to swap
 }
 
 // DefaultConfig returns the paper's experimental platform (Table 1):
@@ -103,6 +120,16 @@ func DefaultConfig() Config {
 
 		UserFlush: 500 * sim.Microsecond,
 		Seed:      1,
+
+		// Far latencies are pre-set so enabling the tier is just
+		// setting Pages: ~25 us device reads sit between DRAM and the
+		// millisecond disk path, and MinPrio 1 sends only the lowest
+		// reuse class (priority 0) straight to swap.
+		Far: FarConfig{
+			Latency: 25 * sim.Microsecond,
+			CPU:     5 * sim.Microsecond,
+			MinPrio: 1,
+		},
 	}
 	cfg.Daemon.MinFree = cfg.MinFreePages
 	cfg.Daemon.TargetFree = cfg.TargetFreePages
@@ -144,6 +171,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kernel: NumDisks must be positive, got %d", c.Disk.NumDisks)
 	case c.CPUQuantum <= 0:
 		return fmt.Errorf("kernel: CPUQuantum must be positive")
+	case c.Far.Pages < 0:
+		return fmt.Errorf("kernel: Far.Pages must be non-negative, got %d", c.Far.Pages)
+	case c.Far.Pages > 0 && (c.Far.Latency < 0 || c.Far.CPU < 0 || c.Far.MinPrio < 0):
+		return fmt.Errorf("kernel: far-tier latencies and MinPrio must be non-negative")
 	}
 	return nil
 }

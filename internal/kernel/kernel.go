@@ -21,6 +21,10 @@ type System struct {
 	Phys  *mem.Phys
 	Disks *disk.Array
 
+	// Far is the optional far-memory tier; nil unless Config.Far.Pages
+	// is set.
+	Far *mem.FarTier
+
 	// Daemons and Releasers hold one paging daemon and one releaser
 	// per memory node; Daemon and Releaser alias node 0 (the only
 	// entries on an unsharded machine).
@@ -57,6 +61,10 @@ func NewSystem(cfg Config) *System {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	// The far tier's costs live in vm.Params so the fault path reads
+	// them without reaching back into the kernel config.
+	cfg.VM.FarLatency = cfg.Far.Latency
+	cfg.VM.FarCPU = cfg.Far.CPU
 	s := sim.New()
 	sys := &System{
 		Cfg:  cfg,
@@ -69,6 +77,9 @@ func NewSystem(cfg Config) *System {
 	}
 	sys.Phys = mem.NewSharded(s, cfg.UserMemPages, nodes)
 	nodes = sys.Phys.Nodes() // NewSharded clamps to the frame count
+	if cfg.Far.Pages > 0 {
+		sys.Far = mem.NewFarTier(cfg.Far.Pages, nodes)
+	}
 
 	// Per-node daemons divide the global thresholds so the whole
 	// machine keeps the same total reserve; with one node this leaves
@@ -94,9 +105,11 @@ func NewSystem(cfg Config) *System {
 		dcfg.Seed = cfg.Seed
 	}
 	sys.Disks = disk.New(s, dcfg)
+	rcfg := cfg.Releaser
+	rcfg.FarMinPrio = cfg.Far.MinPrio
 	for k := 0; k < nodes; k++ {
 		sys.Daemons = append(sys.Daemons, pageout.NewNodeDaemon(s, sys.Phys, sys.Disks, dkcfg, k))
-		sys.Releasers = append(sys.Releasers, pageout.NewNodeReleaser(s, sys.Disks, cfg.Releaser, k))
+		sys.Releasers = append(sys.Releasers, pageout.NewNodeReleaser(s, sys.Disks, rcfg, k))
 	}
 	sys.Daemon, sys.Releaser = sys.Daemons[0], sys.Releasers[0]
 	if nodes > 1 {
@@ -176,6 +189,7 @@ func (sys *System) ReleaserStats() pageout.ReleaserStats {
 		t.SkippedRef += r.Stats.SkippedRef
 		t.SkippedGone += r.Stats.SkippedGone
 		t.Writebacks += r.Stats.Writebacks
+		t.Demoted += r.Stats.Demoted
 	}
 	return t
 }
@@ -227,6 +241,9 @@ func (sys *System) SetChaos(in *chaos.Injector) {
 	sys.Disks.Chaos = in
 	for _, pm := range sys.pms {
 		pm.Chaos = in
+	}
+	for _, p := range sys.procs {
+		p.AS.Chaos = in
 	}
 }
 
@@ -321,6 +338,8 @@ func (sys *System) NewProcess(name string, npages int) *Process {
 	p := &Process{Sys: sys, Name: name, Node: home}
 	p.AS = vm.NewAS(name, sys.nextID, npages, sys.swapCursor, sys.Phys, sys.Disks, sys.Cfg.VM)
 	p.AS.Events = sys.Events
+	p.AS.Far = sys.Far
+	p.AS.Chaos = sys.Chaos
 	sys.nextID++
 	// Offset swap bases by a small prime so different processes do not
 	// stripe-align with each other.

@@ -166,7 +166,7 @@ func TestReleaserFreesRequestedPages(t *testing.T) {
 			vpns[i] = i
 			as.InvalidateForRelease(i)
 		}
-		r.releaser.Enqueue(as, vpns)
+		r.releaser.Enqueue(as, vpns, nil)
 	})
 	r.s.Run(0)
 	if r.releaser.Stats.Freed != 8 {
@@ -191,7 +191,7 @@ func TestReleaserSkipsReferencedPages(t *testing.T) {
 		as.InvalidateForRelease(1)
 		// Page 0 is referenced again before the releaser runs.
 		as.Touch(x, 0, false)
-		r.releaser.Enqueue(as, []int{0, 1})
+		r.releaser.Enqueue(as, []int{0, 1}, nil)
 	})
 	r.s.Run(0)
 	if r.releaser.Stats.Freed != 1 || r.releaser.Stats.SkippedRef != 1 {
@@ -211,7 +211,7 @@ func TestReleaserWritesBackDirtyPages(t *testing.T) {
 		as.Touch(x, 1, false)
 		as.InvalidateForRelease(0)
 		as.InvalidateForRelease(1)
-		r.releaser.Enqueue(as, []int{0, 1})
+		r.releaser.Enqueue(as, []int{0, 1}, nil)
 	})
 	r.s.Run(0)
 	if r.releaser.Stats.Writebacks != 1 {
@@ -226,7 +226,7 @@ func TestReleaserSkipsNonResident(t *testing.T) {
 	r := newRig(64)
 	as := r.newAS("app", 0, 64)
 	r.s.Spawn("app", func(p *sim.Proc) {
-		r.releaser.Enqueue(as, []int{3, 4})
+		r.releaser.Enqueue(as, []int{3, 4}, nil)
 	})
 	r.s.Run(0)
 	if r.releaser.Stats.SkippedGone != 2 {
@@ -242,7 +242,7 @@ func TestReleasedPagesAreRescuable(t *testing.T) {
 		x := &testExec{proc: p}
 		as.Touch(x, 0, false)
 		as.InvalidateForRelease(0)
-		r.releaser.Enqueue(as, []int{0})
+		r.releaser.Enqueue(as, []int{0}, nil)
 		p.Sleep(10 * sim.Millisecond) // let the releaser run
 		out = as.Touch(x, 0, false)   // rescue from the free list
 	})
@@ -338,7 +338,7 @@ func TestReleaserBatchesBoundLockHolds(t *testing.T) {
 			as.InvalidateForRelease(i)
 		}
 		before := as.Memlock.Acquisitions
-		r.releaser.Enqueue(as, vpns)
+		r.releaser.Enqueue(as, vpns, nil)
 		p.Sleep(100 * sim.Millisecond)
 		if got := as.Memlock.Acquisitions - before; got < 8 {
 			t.Errorf("releaser took the lock %d times for 64 pages; batching broken", got)

@@ -13,6 +13,12 @@ import (
 type ReleaserConfig struct {
 	PerPage sim.Time // CPU per page; smaller than the paging daemon's
 	Batch   int      // pages per lock hold; smaller than the daemon's
+
+	// FarMinPrio is the eq. 2 priority threshold for tier demotion:
+	// released pages with priority >= FarMinPrio go to the far tier
+	// when the run has one, below it (or when the tier is full) they
+	// are freed to swap. Irrelevant without a far tier.
+	FarMinPrio int
 }
 
 // ReleaserStats counts releaser activity.
@@ -23,12 +29,17 @@ type ReleaserStats struct {
 	SkippedRef     int64 // page referenced again since the request
 	SkippedGone    int64 // page no longer resident
 	Writebacks     int64
+	Demoted        int64 // pages demoted to the far tier instead of freed
 }
 
-// releaseReq is one queued request from the PagingDirected PM.
+// releaseReq is one queued request from the PagingDirected PM. prios
+// carries the eq. 2 reuse priority of each page (parallel to vpns);
+// nil means no priority information, which demotes nothing unless
+// FarMinPrio is zero.
 type releaseReq struct {
-	as   *vm.AS
-	vpns []int
+	as    *vm.AS
+	vpns  []int
+	prios []int
 }
 
 // Releaser is the system releasing daemon: it "functions similarly to
@@ -88,9 +99,11 @@ func (r *Releaser) Start(mk func(*sim.Proc) vm.Exec) {
 }
 
 // Enqueue adds a release request to the work queue. The PM has already
-// cleared the shared-page bits and invalidated the mappings.
-func (r *Releaser) Enqueue(as *vm.AS, vpns []int) {
-	r.queue = append(r.queue, releaseReq{as: as, vpns: vpns})
+// cleared the shared-page bits and invalidated the mappings. prios
+// (may be nil) carries each page's eq. 2 reuse priority, parallel to
+// vpns, and steers tier demotion; see ReleaserConfig.FarMinPrio.
+func (r *Releaser) Enqueue(as *vm.AS, vpns []int, prios []int) {
+	r.queue = append(r.queue, releaseReq{as: as, vpns: vpns, prios: prios})
 	r.wake.WakeOne()
 }
 
@@ -119,19 +132,20 @@ func (r *Releaser) loop(p *sim.Proc) {
 }
 
 // handle frees the requested pages in small batches, holding the
-// address-space lock only across each batch.
+// address-space lock only across each batch. Pages whose reuse
+// priority clears FarMinPrio are demoted to the far tier (contents
+// kept, no writeback: the tier is byte-addressable); the rest — and
+// everything when the tier is absent or full — are freed to swap.
 func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
-	vpns := req.vpns
-	for len(vpns) > 0 {
-		n := r.cfg.Batch
-		if n > len(vpns) {
-			n = len(vpns)
+	for off := 0; off < len(req.vpns); off += r.cfg.Batch {
+		end := off + r.cfg.Batch
+		if end > len(req.vpns) {
+			end = len(req.vpns)
 		}
-		batch := vpns[:n]
-		vpns = vpns[n:]
 
 		req.as.Memlock.Acquire(p)
-		for _, vpn := range batch {
+		for i := off; i < end; i++ {
+			vpn := req.vpns[i]
 			r.exec.System(r.cfg.PerPage)
 			pte := req.as.PTE(vpn)
 			if !pte.Present || pte.Busy {
@@ -147,6 +161,23 @@ func (r *Releaser) handle(p *sim.Proc, req releaseReq) {
 				r.Stats.SkippedRef++
 				r.Events.Emit(events.ReleaserSkipRef, r.name, req.as.OwnerName(), vpn, 0, 0)
 				continue
+			}
+			if req.as.Far != nil {
+				prio := 0
+				if req.prios != nil {
+					prio = req.prios[i]
+				}
+				if prio >= r.cfg.FarMinPrio && !r.Chaos.Fire(chaos.FarDrop, r.name, vpn) {
+					if demoted, dirty := req.as.TryDemote(vpn); demoted {
+						r.Stats.Demoted++
+						var d int64
+						if dirty {
+							d = 1
+						}
+						r.Events.Emit(events.TierDemote, r.name, req.as.OwnerName(), vpn, int64(prio), d)
+						continue
+					}
+				}
 			}
 			freed, dirty := req.as.TryReclaim(vpn, mem.FreedRelease)
 			if freed {

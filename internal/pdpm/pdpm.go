@@ -47,6 +47,7 @@ type Stats struct {
 	PrefetchDiscarded int64 // no free memory
 	PrefetchRescued   int64
 	PrefetchRead      int64
+	PrefetchPromoted  int64 // promoted from the far tier
 	ReleaseRequests   int64
 	ReleasePages      int64
 	SharedRefreshes   int64
@@ -223,6 +224,8 @@ func (pm *PM) Prefetch(x vm.Exec, vpn int) vm.PrefetchResult {
 		pm.Stats.PrefetchRescued++
 	case vm.PrefetchRead:
 		pm.Stats.PrefetchRead++
+	case vm.PrefetchPromoted:
+		pm.Stats.PrefetchPromoted++
 	}
 	pm.refresh()
 	return res
@@ -231,8 +234,10 @@ func (pm *PM) Prefetch(x vm.Exec, vpn int) vm.PrefetchResult {
 // Release issues a release request for the given pages: the PM clears
 // their shared-page bits, invalidates their mappings so a later
 // reference is observable, and queues the request to the releaser
-// daemon (§3.1.2).
-func (pm *PM) Release(x vm.Exec, vpns []int) {
+// daemon (§3.1.2). prios (may be nil) carries the pages' eq. 2 reuse
+// priorities, parallel to vpns, which the releaser uses to pick a
+// demotion target when the machine has a far tier.
+func (pm *PM) Release(x vm.Exec, vpns []int, prios []int) {
 	pm.Stats.ReleaseRequests++
 	pm.Stats.ReleasePages += int64(len(vpns))
 	pm.as.Events.Emit(events.PMReleaseCall, pm.as.OwnerName(), "", -1, int64(len(vpns)), 0)
@@ -243,6 +248,10 @@ func (pm *PM) Release(x vm.Exec, vpns []int) {
 		pm.as.InvalidateForRelease(vpn)
 		batch = append(batch, vpn)
 	}
-	pm.releaser.Enqueue(pm.as, batch)
+	var pbatch []int
+	if prios != nil {
+		pbatch = append(pbatch, prios...)
+	}
+	pm.releaser.Enqueue(pm.as, batch, pbatch)
 	pm.refresh()
 }

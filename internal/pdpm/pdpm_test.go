@@ -162,7 +162,7 @@ func TestReleaseClearsBitsImmediately(t *testing.T) {
 	r.inProc(func(x *testExec) {
 		r.as.Touch(x, 0, false)
 		r.as.Touch(x, 1, false)
-		r.pm.Release(x, []int{0, 1})
+		r.pm.Release(x, []int{0, 1}, nil)
 		// Bits are cleared at request time, before the releaser runs.
 		if r.pm.Shared().Test(0) || r.pm.Shared().Test(1) {
 			t.Error("bits not cleared at release-request time")
@@ -178,7 +178,7 @@ func TestReferenceAfterReleaseRequestSetsBitAgain(t *testing.T) {
 	r := newRig(16, 64, Config{MinFree: 2})
 	r.inProc(func(x *testExec) {
 		r.as.Touch(x, 0, false)
-		r.pm.Release(x, []int{0})
+		r.pm.Release(x, []int{0}, nil)
 		// Touch before the releaser runs: the soft fault re-sets the
 		// bit, and the releaser must then skip the page.
 		r.as.Touch(x, 0, false)

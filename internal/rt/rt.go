@@ -121,6 +121,7 @@ type workItem struct {
 	kind  workKind
 	page  int
 	pages []int
+	prios []int // eq. 2 reuse priority of each released page
 }
 
 // relQueue buffers releases for one tag (Figure 6(b)).
@@ -397,7 +398,7 @@ func (l *Layer) release1(tag int, prio int, page int64) {
 	if l.cfg.Mode != ModeReactive && (prio == 0 || l.cfg.Mode == ModeAggressive) {
 		// "Requests with no reuse (i.e. a priority of 0) are issued to
 		// the OS after passing the simple checks."
-		l.issueRelease([]int{p})
+		l.issueRelease([]int{p}, []int{prio})
 		return
 	}
 
@@ -442,7 +443,7 @@ func (l *Layer) checkPressureForced() {
 		l.ev.Emit(events.RTPressureDrain, l.p.Name, "", -1, int64(sp.Current), int64(sp.Limit))
 	}
 	need := l.cfg.ReleaseBatch
-	var drained []int
+	var drained, drainedPrios []int
 
 	// Group queues by priority, ascending.
 	byPrio := map[int][]*relQueue{}
@@ -468,6 +469,7 @@ func (l *Layer) checkPressureForced() {
 					continue
 				}
 				drained = append(drained, q.pages[0])
+				drainedPrios = append(drainedPrios, q.prio)
 				copy(q.pages, q.pages[1:])
 				q.pages = q.pages[:len(q.pages)-1]
 				need--
@@ -482,17 +484,17 @@ func (l *Layer) checkPressureForced() {
 		}
 	}
 	if len(drained) > 0 {
-		l.issueRelease(drained)
+		l.issueRelease(drained, drainedPrios)
 	}
 }
 
-// issueRelease hands pages to a worker thread for the actual system
-// call ("The same set of pthreads are also used to actually issue the
-// release requests to the OS").
-func (l *Layer) issueRelease(pages []int) {
+// issueRelease hands pages (with their parallel reuse priorities) to a
+// worker thread for the actual system call ("The same set of pthreads
+// are also used to actually issue the release requests to the OS").
+func (l *Layer) issueRelease(pages, prios []int) {
 	l.Stats.ReleaseIssued += int64(len(pages))
 	l.ev.Emit(events.RTReleaseIssue, l.p.Name, "", -1, int64(len(pages)), 0)
-	l.work = append(l.work, workItem{kind: workRel, pages: pages})
+	l.work = append(l.work, workItem{kind: workRel, pages: pages, prios: prios})
 	l.workWait.WakeOne()
 }
 
@@ -524,14 +526,17 @@ func (l *Layer) Flush() {
 		prios = append(prios, p)
 	}
 	sort.Ints(prios)
-	var all []int
+	var all, allPrios []int
 	for _, p := range prios {
 		q := l.queues[p]
+		for range q.pages {
+			allPrios = append(allPrios, q.prio)
+		}
 		all = append(all, q.pages...)
 		q.pages = q.pages[:0]
 	}
 	if len(all) > 0 {
-		l.issueRelease(all)
+		l.issueRelease(all, allPrios)
 	}
 }
 
@@ -548,7 +553,7 @@ func (l *Layer) worker(t *kernel.Thread) {
 		case workPf:
 			l.pm.Prefetch(t.Exec(), item.page)
 		case workRel:
-			l.pm.Release(t.Exec(), item.pages)
+			l.pm.Release(t.Exec(), item.pages, item.prios)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"memhogs/internal/chaos"
 	"memhogs/internal/disk"
 	"memhogs/internal/events"
 	"memhogs/internal/mem"
@@ -93,6 +94,12 @@ type PTE struct {
 	Valid   bool        // mapping validated (reference-bit emulation)
 	Busy    bool        // page-in in flight
 	Why     InvalidReason
+
+	// FarSlot is the page's far-tier slot when it has been demoted
+	// (NoFarSlot otherwise). A far-resident page is never Present and
+	// holds no frame — each page lives in exactly one tier, an
+	// invariant kernel.Audit enforces.
+	FarSlot mem.FarSlotID
 }
 
 // Outcome classifies a Touch.
@@ -104,6 +111,7 @@ const (
 	SoftFault
 	RescueFault
 	HardFault
+	FarFault // resolved from the far tier at far-tier latency
 )
 
 func (o Outcome) String() string {
@@ -114,6 +122,8 @@ func (o Outcome) String() string {
 		return "soft"
 	case RescueFault:
 		return "rescue"
+	case FarFault:
+		return "far"
 	default:
 		return "hard"
 	}
@@ -158,6 +168,13 @@ type Params struct {
 	// reference-bit pass no longer causes software soft faults —
 	// revalidation after a daemon invalidation is free and uncounted.
 	HardwareRefBits bool
+
+	// FarLatency is the fixed access latency for promoting a page out
+	// of the far tier (byte-addressable: no positioning cost). Only
+	// used when the address space has a far tier attached.
+	FarLatency sim.Time
+	// FarCPU is the CPU portion of a far-tier fault or demotion.
+	FarCPU sim.Time
 }
 
 // Stats are per-address-space VM counters.
@@ -173,6 +190,9 @@ type Stats struct {
 	StolenPages      int64 // taken by the paging daemon
 	ReleasedPages    int64 // freed by the releaser
 	PeakResident     int64 // high-water mark of the resident set, in pages
+	FarFaults        int64 // faults resolved from the far tier (far hits)
+	Demotions        int64 // pages moved DRAM -> far
+	Promotions       int64 // pages moved far -> DRAM (faults + prefetches)
 }
 
 // AS is an address space: a dense page table over a fixed number of
@@ -182,9 +202,10 @@ type AS struct {
 	name string
 	id   int
 
-	ptes     []PTE
-	Resident int // resident page count
-	MaxRSS   int // trim threshold (frames); default: no limit
+	ptes        []PTE
+	Resident    int // resident page count (DRAM only)
+	FarResident int // pages currently demoted to the far tier
+	MaxRSS      int // trim threshold (frames); default: no limit
 
 	// resBits/valBits are packed bitmaps mirroring the Present and
 	// Valid bits of the page table, one bit per vpn, so daemons can
@@ -223,6 +244,14 @@ type AS struct {
 	// recording at near-zero cost.
 	Events *events.Recorder
 
+	// Far is the optional far-memory tier (nil = no tier; demotion
+	// requests fail and every fault path behaves exactly as before).
+	// The kernel wires it when the configuration enables the tier.
+	Far *mem.FarTier
+
+	// Chaos is the fault injector; nil injects nothing.
+	Chaos *chaos.Injector
+
 	Stats Stats
 }
 
@@ -246,6 +275,7 @@ func NewAS(name string, id int, npages int, swapBase int64, phys *mem.Phys, disk
 	}
 	for i := range as.ptes {
 		as.ptes[i].Frame = mem.NoFrame
+		as.ptes[i].FarSlot = mem.NoFarSlot
 	}
 	return as
 }
@@ -456,6 +486,53 @@ func (as *AS) fault(x Exec, vpn int, write bool) Outcome {
 		if as.watcher != nil {
 			as.watcher.Revalidate(vpn)
 		}
+	case pte.FarSlot != mem.NoFarSlot:
+		// Far-tier hit: promote the page back to DRAM at the tier's
+		// fixed latency instead of paying a disk fault. The slot is
+		// freed up front — identity travels with the in-flight page-in
+		// (Busy bit), so the page is never in two tiers at once.
+		outcome = FarFault
+		as.Stats.FarFaults++
+		as.Events.Emit(events.FaultFar, as.name, "", vpn, 0, 0)
+		x.System(as.params.FarCPU)
+		slot := as.Far.Slot(pte.FarSlot)
+		wasDirty := slot.Dirty
+		as.Far.Free(slot)
+		pte.FarSlot = mem.NoFarSlot
+		as.FarResident-- // with the slot gone, before any sleep: audits must see counter == slot PTEs
+		pte.Busy = true
+		as.beginPageIn(vpn)
+		as.Memlock.Release(p)
+
+		frame, memWait := as.phys.Alloc(p, as, vpn)
+		x.Account(BucketStallMem, memWait)
+
+		lat := as.params.FarLatency
+		if extra := as.Chaos.FireDelay(chaos.FarSlow, as.name); extra > 0 {
+			lat += extra
+		}
+		start := p.Now()
+		p.Sleep(lat)
+		x.Account(BucketStallIO, p.Now()-start)
+
+		relock := as.Memlock.Acquire(p)
+		x.Account(BucketStallLock, relock)
+		pte.Frame = frame.ID
+		frame.Dirty = wasDirty
+		as.setPresent(pte, vpn, true)
+		as.setValid(pte, vpn, true)
+		pte.Busy = false
+		as.endPageIn(vpn)
+		pte.Why = InvalidNone
+		as.Stats.Promotions++
+		var d int64
+		if wasDirty {
+			d = 1
+		}
+		as.Events.Emit(events.TierPromote, as.name, "", vpn, 0, d)
+		as.grew()
+		as.notifyIn(vpn)
+		as.ioWait.WakeAll()
 	case pte.Frame != mem.NoFrame && !as.params.NoRescue:
 		// The old frame is still on the free list: rescue it.
 		outcome = RescueFault
@@ -549,7 +626,7 @@ func (as *AS) readahead(vpn int) {
 		return
 	}
 	pte := &as.ptes[vpn]
-	if pte.Present || pte.Busy || pte.Frame != mem.NoFrame {
+	if pte.Present || pte.Busy || pte.Frame != mem.NoFrame || pte.FarSlot != mem.NoFarSlot {
 		return
 	}
 	frame, ok := as.phys.TryAlloc(as, vpn)
@@ -586,6 +663,7 @@ const (
 	PrefetchDiscarded                // no free memory (§3.1.2)
 	PrefetchRescued
 	PrefetchRead
+	PrefetchPromoted // promoted from the far tier at far-tier latency
 )
 
 // Prefetch brings vpn into memory on behalf of the owning process,
@@ -609,6 +687,54 @@ func (as *AS) Prefetch(x Exec, vpn int) PrefetchResult {
 	if pte.Busy || pte.Present {
 		as.Memlock.Release(p)
 		return PrefetchAlreadyIn
+	}
+	if pte.FarSlot != mem.NoFarSlot {
+		// Demoted page: promote it out of the far tier instead of
+		// reading the stale swap copy. Like every prefetch, this is
+		// discarded rather than stealing memory when DRAM is full.
+		frame, ok := as.phys.TryAlloc(as, vpn)
+		if !ok {
+			as.Memlock.Release(p)
+			return PrefetchDiscarded
+		}
+		slot := as.Far.Slot(pte.FarSlot)
+		wasDirty := slot.Dirty
+		as.Far.Free(slot)
+		pte.FarSlot = mem.NoFarSlot
+		as.FarResident-- // with the slot gone, before any sleep: audits must see counter == slot PTEs
+		pte.Busy = true
+		as.beginPageIn(vpn)
+		x.System(as.params.FarCPU)
+		as.Memlock.Release(p)
+
+		lat := as.params.FarLatency
+		if extra := as.Chaos.FireDelay(chaos.FarSlow, as.name); extra > 0 {
+			lat += extra
+		}
+		start := p.Now()
+		p.Sleep(lat)
+		x.Account(BucketStallIO, p.Now()-start)
+
+		wait = as.Memlock.Acquire(p)
+		x.Account(BucketStallLock, wait)
+		pte.Frame = frame.ID
+		frame.Dirty = wasDirty
+		as.setPresent(pte, vpn, true)
+		as.setValid(pte, vpn, false) // not validated; no TLB entry
+		pte.Why = InvalidPrefetch
+		pte.Busy = false
+		as.endPageIn(vpn)
+		as.Stats.Promotions++
+		var d int64
+		if wasDirty {
+			d = 1
+		}
+		as.Events.Emit(events.TierPromote, as.name, "", vpn, 1, d)
+		as.grew()
+		as.notifyIn(vpn)
+		as.ioWait.WakeAll()
+		as.Memlock.Release(p)
+		return PrefetchPromoted
 	}
 	if pte.Frame != mem.NoFrame && as.params.NoRescue {
 		as.phys.DropIdentity(as.phys.Frame(pte.Frame))
@@ -728,6 +854,45 @@ func (as *AS) TryReclaim(vpn int, kind mem.FreeKind) (freed bool, dirty bool) {
 	} else {
 		as.Stats.ReleasedPages++
 	}
+	as.notifyOut(vpn)
+	return true, dirty
+}
+
+// TryDemote moves vpn's page from DRAM to the far tier, used by the
+// releaser when a release hint carries enough reuse priority that the
+// page is worth keeping closer than swap. Eligibility is exactly
+// TryReclaim's (resident, idle, not referenced since the request); on
+// top of that the far tier must have a free slot — a full tier returns
+// false and the caller falls back to swap. The DRAM frame's identity
+// is dropped before it is freed so the page is never simultaneously
+// far-resident and rescuable. The page keeps its contents (the tier is
+// byte-addressable), so a dirty page needs no swap writeback. The
+// caller must hold Memlock.
+func (as *AS) TryDemote(vpn int) (demoted bool, dirty bool) {
+	if as.Far == nil {
+		return false, false
+	}
+	pte := &as.ptes[vpn]
+	if !pte.Present || pte.Busy || pte.Valid {
+		return false, false
+	}
+	slot, ok := as.Far.TryAlloc(as.phys.HomeOf(as.id), as, vpn)
+	if !ok {
+		return false, false
+	}
+	frame := as.phys.Frame(pte.Frame)
+	dirty = frame.Dirty
+	slot.Dirty = dirty
+	as.phys.DropIdentity(frame)
+	as.phys.Free(frame, mem.FreedRelease)
+	pte.Frame = mem.NoFrame
+	as.setPresent(pte, vpn, false)
+	as.setValid(pte, vpn, false)
+	pte.Why = InvalidNone
+	pte.FarSlot = slot.ID
+	as.Resident--
+	as.FarResident++
+	as.Stats.Demotions++
 	as.notifyOut(vpn)
 	return true, dirty
 }

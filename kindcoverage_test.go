@@ -118,6 +118,17 @@ func TestEveryEventKindObservable(t *testing.T) {
 	// balancer to move free frames between regions.
 	add(tenantCoverageRun(t))
 
+	// A far-tier run is the only producer of the tiering kinds: the
+	// buffered FFTPDE releases pages with reuse (eq. 2 priority >= 1),
+	// which demote instead of freeing (tier-demote), and later
+	// references promote them back at far latency (fault-far +
+	// tier-promote). The DRAM budget shrinks by the far pages so the
+	// total stays the test machine's 256.
+	add(coverageRun(t, "fftpde", rt.ModeBuffered, func(c *driver.RunConfig) {
+		c.Kernel.UserMemPages -= 64
+		c.Kernel.Far.Pages = 64
+	}))
+
 	for k := events.Kind(0); k < events.KindCount; k++ {
 		if k.String() == "unknown" {
 			t.Errorf("Kind %d has no name in kindNames", k)

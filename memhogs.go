@@ -88,6 +88,10 @@ type Machine struct {
 	PageSizeKB int
 	Disks      int
 	Adapters   int
+	// FarMemMB adds a CXL-like far-memory tier of that size between
+	// DRAM and swap; 0 (the default) means no far tier — released
+	// pages go straight to swap as in the paper's platform.
+	FarMemMB int
 	// Scaled marks the small test machine; it only affects which
 	// built-in benchmark sizes RunBenchmark picks.
 	Scaled bool
@@ -123,6 +127,9 @@ func (m Machine) kernelConfig() kernel.Config {
 	}
 	if m.Adapters > 0 {
 		cfg.Disk.NumAdapters = m.Adapters
+	}
+	if m.FarMemMB > 0 {
+		cfg.Far.Pages = m.FarMemMB << 20 / cfg.PageSize
 	}
 	return cfg
 }
@@ -631,6 +638,34 @@ func Tenants(quick bool, progress io.Writer, benches ...string) (string, error) 
 	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Tenants(benches...)
 }
 
+// Tiering runs the memory-tiering campaign: the machine's memory
+// budget split between DRAM and a CXL-like far tier at several ratios
+// (1:0 through 1:3), with the compiler's eq. 2 reuse priorities
+// steering released pages to the far tier instead of swap. The table
+// reports elapsed time, hard faults, and tier traffic per benchmark,
+// version, and split — the figure the paper's 2000 hardware could not
+// draw. benches filters the benchmark set (none = all six).
+func (c Campaign) Tiering(benches ...string) (string, error) {
+	o := c.opts()
+	if len(benches) > 0 {
+		o.Benches = benches
+	}
+	d, err := experiments.RunTiering(o)
+	if err != nil {
+		return "", err
+	}
+	if err := d.Check(); err != nil {
+		return "", err
+	}
+	return experiments.TieringTable(d).String(), nil
+}
+
+// Tiering runs Campaign.Tiering serially. quick uses the scaled
+// machine and benchmarks.
+func Tiering(quick bool, progress io.Writer, benches ...string) (string, error) {
+	return Campaign{Quick: quick, Workers: 1, Progress: progress}.Tiering(benches...)
+}
+
 // Timeline runs one benchmark version with a concurrent interactive
 // task and returns an ASCII timeline of the memory system's dynamics:
 // free pages, per-process resident sets, and cumulative daemon and
@@ -846,6 +881,14 @@ func Chaos(name string, v Version, m Machine, opts ChaosOptions) (*ChaosReport, 
 		Chaos:            &plan,
 		AuditEvery:       auditEvery,
 		AuditOnFault:     true,
+	}
+	// A plan that arms far-tier sites needs a far tier to hit: split
+	// the budget 3:1, exactly like the chaos matrix's far cells.
+	// Other plans keep the all-DRAM machine.
+	if plan.TargetsFar() && cfg.Kernel.Far.Pages == 0 {
+		dram, far := (experiments.TierRatio{DRAM: 3, Far: 1}).Split(cfg.Kernel.UserMemPages)
+		cfg.Kernel.UserMemPages = dram
+		cfg.Kernel.Far.Pages = far
 	}
 	if opts.InteractiveSleepMS >= 0 {
 		cfg.InteractiveSleep = sim.Time(opts.InteractiveSleepMS) * sim.Millisecond

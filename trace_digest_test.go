@@ -5,19 +5,89 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"os"
-	"sort"
 	"testing"
 )
 
-// TestTraceDigests pins the flight-recorder trace bytes for every
-// benchmark × version on the quick machine: the sha256 of each
-// `memhog -quick -quiet trace <bench> <version>` output must match
-// testdata/trace_digests.json, captured before the event-queue and
-// bitmap rebuilds. Any divergence means a perf refactor changed
-// simulated behavior, not just speed. After an intentional behavior
-// change, regenerate the file by hashing fresh Trace output for all
-// 24 cells.
+// traceDigestCells enumerates the pinned trace matrix: every benchmark
+// x version on the quick machine, plus the far-tier cells — FFTPDE
+// (the benchmark whose releases carry reuse priorities, so its pages
+// actually demote and promote) on the same 256-page budget split 3:1
+// DRAM:far. 6x4 + 4 = 28 cells.
+func traceDigestCells() []struct {
+	Key   string
+	Bench string
+	V     Version
+	M     Machine
+} {
+	versions := []struct {
+		Letter string
+		V      Version
+	}{
+		{"O", Original}, {"P", PrefetchOnly}, {"R", Aggressive}, {"B", Buffered},
+	}
+	plain := TestMachine()
+	farMachine := TestMachine()
+	farMachine.MemoryMB = 3 // 192 DRAM pages ...
+	farMachine.FarMemMB = 1 // ... + 64 far slots = the same 256-page budget
+	var cells []struct {
+		Key   string
+		Bench string
+		V     Version
+		M     Machine
+	}
+	for _, bench := range BenchmarkNames() {
+		for _, ver := range versions {
+			cells = append(cells, struct {
+				Key   string
+				Bench string
+				V     Version
+				M     Machine
+			}{bench + "/" + ver.Letter, bench, ver.V, plain})
+		}
+	}
+	for _, ver := range versions {
+		cells = append(cells, struct {
+			Key   string
+			Bench string
+			V     Version
+			M     Machine
+		}{"fftpde/" + ver.Letter + "+far", "fftpde", ver.V, farMachine})
+	}
+	return cells
+}
+
+// TestTraceDigests pins the flight-recorder trace bytes for every cell
+// of traceDigestCells: the sha256 of each `memhog -quick -quiet trace`
+// output must match testdata/trace_digests.json. Any divergence means
+// a refactor changed simulated behavior, not just speed — including
+// the far-tier cells, whose demote/promote traffic is part of the
+// pinned byte stream. After an intentional behavior change, regenerate
+// with UPDATE_TRACE_DIGESTS=1 go test -run TestTraceDigests .
 func TestTraceDigests(t *testing.T) {
+	cells := traceDigestCells()
+	if len(cells) != 28 {
+		t.Fatalf("digest matrix has %d cells, want 28 (6 benchmarks x 4 versions + 4 far cells)", len(cells))
+	}
+	got := map[string]string{}
+	for _, cell := range cells {
+		tr, err := Trace(cell.Bench, cell.V, cell.M, 0, -1)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Key, err)
+		}
+		sum := sha256.Sum256(tr.ChromeJSON)
+		got[cell.Key] = hex.EncodeToString(sum[:])
+	}
+	if os.Getenv("UPDATE_TRACE_DIGESTS") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/trace_digests.json", append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests", len(got))
+		return
+	}
 	data, err := os.ReadFile("testdata/trace_digests.json")
 	if err != nil {
 		t.Fatal(err)
@@ -26,36 +96,13 @@ func TestTraceDigests(t *testing.T) {
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatal(err)
 	}
-	versions := map[string]Version{
-		"O": Original, "P": PrefetchOnly, "R": Aggressive, "B": Buffered,
+	if len(want) != len(cells) {
+		t.Fatalf("digest file has %d cells, matrix has %d — regenerate with UPDATE_TRACE_DIGESTS=1",
+			len(want), len(cells))
 	}
-	cells := make([]string, 0, len(want))
-	for cell := range want {
-		cells = append(cells, cell)
-	}
-	sort.Strings(cells)
-	if len(cells) != 24 {
-		t.Fatalf("digest file has %d cells, want 24 (6 benchmarks x 4 versions)", len(cells))
-	}
-	m := TestMachine()
 	for _, cell := range cells {
-		var bench, ver string
-		for i := range cell {
-			if cell[i] == '/' {
-				bench, ver = cell[:i], cell[i+1:]
-			}
-		}
-		v, ok := versions[ver]
-		if !ok {
-			t.Fatalf("bad cell key %q", cell)
-		}
-		tr, err := Trace(bench, v, m, 0, -1)
-		if err != nil {
-			t.Fatalf("%s: %v", cell, err)
-		}
-		sum := sha256.Sum256(tr.ChromeJSON)
-		if got := hex.EncodeToString(sum[:]); got != want[cell] {
-			t.Errorf("%s: trace bytes changed (sha256 %s, want %s)", cell, got, want[cell])
+		if got[cell.Key] != want[cell.Key] {
+			t.Errorf("%s: trace bytes changed (sha256 %s, want %s)", cell.Key, got[cell.Key], want[cell.Key])
 		}
 	}
 }
