@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet hogvet simvet certify lint bench bench-compare examples experiments tenants tiering verify golden trace chaos fuzz clean
+.PHONY: all build test vet hogvet simvet certify certify-tier lint bench bench-compare examples experiments tenants tiering verify golden trace chaos fuzz clean
 
 build:
 	go build ./...
@@ -21,10 +21,10 @@ hogvet: build
 		go run ./cmd/hogc -vet -stats=false -bench $$b >/dev/null || exit 1; \
 	done
 
-# Simulator-source invariants: the six SV passes (determinism,
+# Simulator-source invariants: the seven SV passes (determinism,
 # map-order, emit pairing, nil-safe recorders, dropped errors,
-# hot-path allocations) over the whole module. Exits non-zero on any
-# diagnostic.
+# hot-path allocations, stale suppressions) over the whole module.
+# Exits non-zero on any diagnostic.
 simvet: build
 	go run ./cmd/simvet ./...
 
@@ -43,7 +43,26 @@ certify: build
 	@cmp /tmp/memhog-cert-j1.txt /tmp/memhog-cert-j8.txt
 	@echo "certify: six goldens match, worker-count independent"
 
-lint: build vet hogvet simvet certify
+# Two-tier residency certificates: every benchmark's `certify -far`
+# report must match its per-ratio golden listings, and the listing
+# must not depend on the campaign worker count.
+certify-tier: build
+	@for b in `go run ./cmd/memhog list`; do \
+		echo "memhog certify -far $$b"; \
+		go run ./cmd/memhog certify -far $$b > /tmp/memhog-tiercert-got.txt; \
+		for r in 1:0 3:1 1:1 1:3; do \
+			f=`echo $$r | tr : -`; \
+			echo "==== $$b @ $$r ===="; \
+			cat internal/footprint/testdata/$$b.tier$$f.cert.golden; \
+			echo; \
+		done | diff -u - /tmp/memhog-tiercert-got.txt || exit 1; \
+	done
+	@go run ./cmd/memhog -j 1 certify -far > /tmp/memhog-tiercert-j1.txt
+	@go run ./cmd/memhog -j 8 certify -far > /tmp/memhog-tiercert-j8.txt
+	@cmp /tmp/memhog-tiercert-j1.txt /tmp/memhog-tiercert-j8.txt
+	@echo "certify-tier: 24 tier goldens match, worker-count independent"
+
+lint: build vet hogvet simvet certify certify-tier
 
 test: build vet
 	go test ./...

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"memhogs/internal/compiler"
+	"memhogs/internal/experiments"
 	"memhogs/internal/footprint"
 	"memhogs/internal/hogvet"
 	"memhogs/internal/kernel"
@@ -37,6 +38,8 @@ func families() []family {
 		{"deadhint", genDeadHint},
 		{"certfixtures", genCertFixtures},
 		{"certificates", genCertificates},
+		{"tierfixtures", genTierFixtures},
+		{"tiercertificates", genTierCertificates},
 	}
 }
 
@@ -149,6 +152,73 @@ func genCertificates(_ string, tgt compiler.Target) (map[string]string, error) {
 			certs[v] = footprint.Certify(prog, full, c.Hints(), v, footprint.Opts{Params: s.Params})
 		}
 		out["internal/footprint/testdata/"+s.Name+".cert.golden"] = footprint.Report(certs)
+	}
+	return out, nil
+}
+
+// Tier-fixture certification options, mirrored by
+// internal/hogvet/tierfixtures_test.go: a 1200-page far tier (the far
+// share of a 3:1 split of the 4800-page allotment) behind the
+// kernel's default min-prio 1 demotion gate.
+const (
+	tierFixtureFarPages = 1200
+	tierFixtureMinPrio  = 1
+)
+
+// genTierFixtures regenerates the two-tier certification fixture
+// goldens: hand-written programs pinning HV014 (faroverflow), HV015
+// (thrash), and HV016 (deadthresh), one diagnostic listing each.
+func genTierFixtures(root string, tgt compiler.Target) (map[string]string, error) {
+	out := map[string]string{}
+	for _, name := range []string{"faroverflow", "thrash", "deadthresh"} {
+		src, err := os.ReadFile(filepath.Join(root, "internal/hogvet/testdata/"+name+".hog"))
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		c, err := compiler.Compile(prog, tgt)
+		if err != nil {
+			return nil, err
+		}
+		ds := hogvet.VetParamsFar(c, nil, tierFixtureFarPages, tierFixtureMinPrio)
+		out["internal/hogvet/testdata/"+name+".golden"] = ds.String()
+	}
+	return out, nil
+}
+
+// genTierCertificates regenerates the two-tier residency certificates
+// for every benchmark at every DRAM:far ratio of the tiering
+// campaign: the paper-scale memory budget is split by the ratio, the
+// schedule recompiles against the DRAM share, and the certificate
+// carries the far-tier occupancy and demotion-flow bounds (the 1:0
+// baseline certifies the single-tier world). `make certify-tier`
+// diffs `memhog certify -far` against these listings.
+func genTierCertificates(_ string, _ compiler.Target) (map[string]string, error) {
+	cfg := kernel.DefaultConfig()
+	out := map[string]string{}
+	for _, s := range workload.All() {
+		for _, ratio := range experiments.TieringRatios {
+			dram, far := ratio.Split(cfg.UserMemPages)
+			full := compiler.DefaultTarget(cfg.PageSize, dram)
+			full.Prefetch = true
+			full.Release = true
+			prog := s.Program(nil)
+			c, err := compiler.Compile(prog, full)
+			if err != nil {
+				return nil, err
+			}
+			opts := footprint.Opts{Params: s.Params, FarPages: far, FarMinPrio: cfg.Far.MinPrio}
+			certs := map[footprint.Version]*footprint.Certificate{}
+			for _, v := range footprint.Versions() {
+				certs[v] = footprint.Certify(prog, full, c.Hints(), v, opts)
+			}
+			name := fmt.Sprintf("internal/footprint/testdata/%s.tier%d-%d.cert.golden",
+				s.Name, ratio.DRAM, ratio.Far)
+			out[name] = footprint.Report(certs)
+		}
 	}
 	return out, nil
 }

@@ -1,5 +1,5 @@
 // Command simvet runs the repository's static-analysis suite
-// (internal/analysis): six passes that prove the simulator's
+// (internal/analysis): seven passes that prove the simulator's
 // determinism and instrumentation invariants at compile time.
 //
 //	SV001 nodeterm — no wall-clock/global-rand/env in the simulated stack
@@ -8,6 +8,7 @@
 //	SV004 nilrecv  — //simvet:nilsafe types tolerate nil receivers
 //	SV005 errdrop  — no silently dropped errors chaos can trigger
 //	SV006 hotalloc — no heap allocation or boxing in //simvet:hot paths
+//	SV007 staleallow — no //simvet:allow directive that suppresses nothing
 //
 // Two modes:
 //
@@ -32,6 +33,7 @@ import (
 	"memhogs/internal/analysis/maporder"
 	"memhogs/internal/analysis/nilrecv"
 	"memhogs/internal/analysis/nodeterm"
+	"memhogs/internal/analysis/staleallow"
 )
 
 // suite is the full simvet pass list.
@@ -42,6 +44,7 @@ var suite = []*analysis.Analyzer{
 	nilrecv.Analyzer,
 	errdrop.Analyzer,
 	hotalloc.Analyzer,
+	staleallow.Analyzer,
 }
 
 func main() {

@@ -148,6 +148,23 @@ func TestTieringCountersMatchRunStats(t *testing.T) {
 	if c.Get(events.TierPromote) == 0 {
 		t.Fatal("trivial run: nothing promoted back from the far tier")
 	}
+	// The far-tier high-water mark must be consistent with the
+	// recorder's demote/promote totals: it never exceeds total inflow,
+	// never exceeds the tier's capacity, and is at least the net
+	// occupancy left at the end of the run.
+	peakFar := res.VM.PeakFarResident
+	if peakFar <= 0 {
+		t.Error("PeakFarResident = 0 on a run that demoted pages")
+	}
+	if peakFar > int64(cfg.Kernel.Far.Pages) {
+		t.Errorf("PeakFarResident %d exceeds far-tier size %d", peakFar, cfg.Kernel.Far.Pages)
+	}
+	if peakFar > c.Get(events.TierDemote) {
+		t.Errorf("PeakFarResident %d exceeds tier-demote total %d", peakFar, c.Get(events.TierDemote))
+	}
+	if net := c.Get(events.TierDemote) - c.Get(events.TierPromote); peakFar < net {
+		t.Errorf("PeakFarResident %d below net tier occupancy %d", peakFar, net)
+	}
 	// End-of-run conservation: pages still in the tier are exactly
 	// demotions minus promotions, and the audit must agree.
 	if live := res.Far.Demotions - res.Far.Promotions; live != int64(sysFar.Far.UsedCount()) {

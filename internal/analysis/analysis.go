@@ -16,8 +16,10 @@
 // recorder event, nil-tolerant fast paths on the instrumentation
 // types, no silently dropped errors from the storage layers, no heap
 // allocation on the per-event hot paths. The analyzers in the sibling
-// packages (nodeterm, maporder, emitpair, nilrecv, errdrop, hotalloc)
-// prove those rules once, statically, in CI.
+// packages (nodeterm, maporder, emitpair, nilrecv, errdrop, hotalloc,
+// staleallow) prove those rules once, statically, in CI — and
+// staleallow turns the suite on its own escape hatch, flagging any
+// //simvet:allow directive that no longer suppresses anything.
 //
 // Why not import golang.org/x/tools directly? The module is kept
 // dependency-free on purpose (the simulator itself uses nothing but
@@ -38,7 +40,7 @@ import (
 )
 
 // Analyzer describes one static-analysis pass. Each simvet pass owns
-// exactly one diagnostic code (SV001..SV006).
+// exactly one diagnostic code (SV001..SV007).
 type Analyzer struct {
 	// Name is the short pass name, e.g. "nodeterm".
 	Name string

@@ -31,6 +31,15 @@ import (
 // expectations in every named package.
 func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunAll(t, testdataDir, []*analysis.Analyzer{a}, pkgPaths...)
+}
+
+// RunAll is Run for a multi-analyzer suite: the fixtures see the
+// passes' combined diagnostics, which is what cross-pass checks like
+// staleallow (SV007 judges directives against every other pass's
+// output) need to demonstrate.
+func RunAll(t *testing.T, testdataDir string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
 	srcRoot := filepath.Join(testdataDir, "src")
 	l := analysis.NewLoader()
 
@@ -53,9 +62,9 @@ func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...str
 		}
 		pkgs = append(pkgs, lp)
 	}
-	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, pkgs, l.Fset, analysis.NewFactStore(), nil)
+	diags, err := analysis.RunAnalyzers(analyzers, pkgs, l.Fset, analysis.NewFactStore(), nil)
 	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+		t.Fatalf("run analyzers: %v", err)
 	}
 	checkWants(t, l, pkgs, diags)
 }

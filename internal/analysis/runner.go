@@ -30,28 +30,88 @@ func (d RenderedDiag) String() string {
 //	//simvet:allow SV001 startup banner timestamps the log header
 var allowRE = regexp.MustCompile(`^//simvet:allow\s+(SV\d{3})\s+\S`)
 
-// allowSet records, per file and line, the diagnostic codes allowed
-// there. A directive suppresses matching diagnostics on its own line
-// and on the line directly below it (so it can sit above the
-// offending statement).
-type allowSet map[string]map[int]map[string]bool
+// staleAllowCode is the diagnostic code of the staleallow pass. The
+// runner keys the stale-directive sweep on its presence in the suite
+// (the pass body itself is a no-op: only the runner sees every
+// directive next to every diagnostic).
+const staleAllowCode = "SV007"
 
-func (s allowSet) add(file string, line int, code string) {
-	if s[file] == nil {
-		s[file] = map[int]map[string]bool{}
-	}
-	if s[file][line] == nil {
-		s[file][line] = map[string]bool{}
-	}
-	s[file][line][code] = true
+// allowEntry is one //simvet:allow directive: where it sits and
+// whether it suppressed anything this run.
+type allowEntry struct {
+	col  int
+	used bool
 }
 
+// allowSet records, per file, line, and diagnostic code, the
+// suppression directives in force. A directive suppresses matching
+// diagnostics on its own line and on the line directly below it (so
+// it can sit above the offending statement).
+type allowSet map[string]map[int]map[string]*allowEntry
+
+func (s allowSet) add(file string, line, col int, code string) {
+	if s[file] == nil {
+		s[file] = map[int]map[string]*allowEntry{}
+	}
+	if s[file][line] == nil {
+		s[file][line] = map[string]*allowEntry{}
+	}
+	s[file][line][code] = &allowEntry{col: col}
+}
+
+// allows reports whether a directive covers d, marking the directive
+// used: the staleallow sweep later flags the entries never marked.
 func (s allowSet) allows(d RenderedDiag) bool {
 	lines := s[d.File]
 	if lines == nil {
 		return false
 	}
-	return lines[d.Line][d.Code] || lines[d.Line-1][d.Code]
+	for _, line := range []int{d.Line, d.Line - 1} {
+		if e := lines[line][d.Code]; e != nil {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// stale returns an SV007 diagnostic for every directive that
+// suppressed nothing, judged only against the codes of the passes in
+// this run: an allow for a pass that did not execute is unjudged, not
+// stale. SV007 directives themselves are never flagged — they exist
+// to keep a stale allow on purpose, which is a one-level escape, not
+// a tower.
+func (s allowSet) stale(codes map[string]bool) []RenderedDiag {
+	var out []RenderedDiag
+	for file, lines := range s {
+		for line, byCode := range lines {
+			for code, e := range byCode {
+				if e.used || code == staleAllowCode || !codes[code] {
+					continue
+				}
+				out = append(out, RenderedDiag{
+					File: file,
+					Line: line,
+					Col:  e.col,
+					Code: staleAllowCode,
+					Message: fmt.Sprintf(
+						"stale //simvet:allow %s: no %s diagnostic on this line or the line below",
+						code, code),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+	return out
 }
 
 // collectAllows scans a file's comments for //simvet:allow directives.
@@ -63,7 +123,7 @@ func collectAllows(fset *token.FileSet, f *ast.File, into allowSet) {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			into.add(pos.Filename, pos.Line, m[1])
+			into.add(pos.Filename, pos.Line, pos.Column, m[1])
 		}
 	}
 }
@@ -109,6 +169,30 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*LoadedPackage, fset *token.File
 			continue
 		}
 		kept = append(kept, d)
+	}
+	// With staleallow in the suite, sweep for directives that
+	// suppressed nothing. The sweep runs after every pass's output has
+	// been matched, so `used` is final; its own diagnostics go back
+	// through the allowlist, which is how `//simvet:allow SV007` keeps
+	// a stale directive on purpose.
+	staleOn := false
+	codes := map[string]bool{}
+	for _, a := range analyzers {
+		codes[a.Code] = true
+		if a.Code == staleAllowCode {
+			staleOn = true
+		}
+	}
+	if staleOn {
+		for _, d := range allows.stale(codes) {
+			if allows.allows(d) {
+				continue
+			}
+			if testFile != nil && testFile(d.File) {
+				continue
+			}
+			kept = append(kept, d)
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

@@ -1,0 +1,31 @@
+// Package staleallow implements SV007: every `//simvet:allow`
+// directive must still be earning its keep. A directive suppresses
+// diagnostics of one code on its own line and the line below; when
+// the code it names no longer fires there — the offending call was
+// removed, the pass got smarter, the line drifted during a refactor —
+// the directive becomes a standing lie about the code next to it, and
+// the next reader inherits a justification for a violation that no
+// longer exists. SV007 reports any directive that suppressed nothing,
+// judged only against the passes actually in the run (an allow for a
+// pass that did not execute is unjudged, not stale).
+//
+// The pass body is empty on purpose: staleness is a property of the
+// whole run, not of any one package's AST — only the driver sees
+// every directive next to every surviving diagnostic — so the
+// detection lives in analysis.RunAnalyzers, keyed on this analyzer's
+// presence in the suite. A stale directive can itself be kept
+// deliberately (say, mid-migration) with `//simvet:allow SV007
+// reason` on the line above.
+package staleallow
+
+import "memhogs/internal/analysis"
+
+// Analyzer is the SV007 pass. Its Run is a no-op: listing it in a
+// suite switches on the runner's stale-directive sweep.
+var Analyzer = &analysis.Analyzer{
+	Name: "staleallow",
+	Code: "SV007",
+	Doc: "report //simvet:allow directives that suppress nothing: the named " +
+		"code no longer fires on the directive's line or the line below",
+	Run: func(*analysis.Pass) error { return nil },
+}

@@ -1,0 +1,22 @@
+package staleallow_test
+
+import (
+	"testing"
+
+	"memhogs/internal/analysis"
+	"memhogs/internal/analysis/analysistest"
+	"memhogs/internal/analysis/nodeterm"
+	"memhogs/internal/analysis/staleallow"
+)
+
+// TestStaleAllow runs SV007 next to a real pass (nodeterm) so the
+// fixture can show all four directive fates: live (suppresses a real
+// SV001), stale (suppresses nothing → SV007), unjudged (names a pass
+// not in the run), and kept-on-purpose (stale but covered by an SV007
+// allow on the line above). The runner-level gating — no sweep
+// without the analyzer in the suite — is pinned by the analysis
+// package's own tests.
+func TestStaleAllow(t *testing.T) {
+	analysistest.RunAll(t, "testdata",
+		[]*analysis.Analyzer{nodeterm.Analyzer, staleallow.Analyzer}, "kernel")
+}

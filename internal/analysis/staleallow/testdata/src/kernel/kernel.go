@@ -1,0 +1,41 @@
+// Package kernel is a fixture standing in for the simulated kernel:
+// it sits inside nodeterm's audited scope, so SV001 fires here and
+// the //simvet:allow directives below are judged live or stale by
+// whether they actually suppress one of its findings.
+package kernel
+
+import "time"
+
+// BootBanner carries a live directive: the time.Now call on the line
+// below really trips SV001, the allow really suppresses it, and SV007
+// stays quiet.
+func BootBanner() time.Time {
+	//simvet:allow SV001 startup banner timestamps the human-readable log header only
+	return time.Now()
+}
+
+// Arithmetic carries a stale directive: nothing on the directive's
+// line or the line below reads the wall clock (duration arithmetic is
+// legal), so the allow suppresses nothing and SV007 flags it.
+func Arithmetic(d time.Duration) time.Duration {
+	//simvet:allow SV001 the addition below reads the host clock // want `stale //simvet:allow SV001: no SV001 diagnostic`
+	return 2*d + time.Millisecond
+}
+
+// Boxed carries a directive for a pass that is not part of this run:
+// whether SV006 would fire here is unknowable without running
+// hotalloc, so the directive is unjudged, not stale.
+func Boxed() interface{} {
+	//simvet:allow SV006 boxing the constant is sanctioned on this cold path
+	return 1
+}
+
+// Retired keeps a stale directive on purpose: the SV007 allow on the
+// line above it records that the migration is still in flight, which
+// suppresses the staleness report without founding a tower (SV007
+// directives are themselves never judged).
+func Retired(d time.Duration) time.Duration {
+	//simvet:allow SV007 call site retired mid-migration, directive kept until the branch lands
+	//simvet:allow SV001 retired wall-clock call site
+	return d
+}

@@ -43,6 +43,22 @@
 // behind the group leader (the MGRID fallback), an indirect or
 // symbolic target — degrades its array to ⊤ for that nest.
 //
+// # Two-tier domain
+//
+// With Opts.FarPages > 0 the certificate becomes a triple of bounds:
+// the DRAM peak as before, a far-tier peak occupancy, and a demotion
+// flow volume. Only released pages whose eq. 2 reuse priority passes
+// the FarMinPrio gate ever reach the far tier (the run-time layer's
+// releaser policy), so under O and P the far bounds are exactly zero,
+// under R priority-0 streams bypass the tier, and under B the
+// retained windows split by priority against the gate. Per-array far
+// occupancy accumulates like DRAM carryover (monotone, capped at the
+// whole array) and the total is clamped at the tier's physical size;
+// the flow bound sums each nest's demotable volume scaled by its
+// driver-loop trip product. Imprecise or indirect releases force ⊤ on
+// the affected tier: occupancy degrades to the whole array and the
+// flow bound to ⊤ outright, since a rescued page can demote again.
+//
 // # Certificate
 //
 // Nests are interpreted in program execution order (procedure calls
@@ -127,6 +143,19 @@ type Opts struct {
 	// compile-time Known map. Bounds that stay unresolved degrade to
 	// the whole array, and ultimately to the clamped memory limit.
 	Params map[string]int64
+
+	// FarPages enables the two-tier domain: when positive, the
+	// certificate also carries a far-tier occupancy bound, a demotion
+	// flow bound and the thrash-window findings, modeling a far tier
+	// of this many pages behind the DRAM allotment. Zero (the default)
+	// certifies the single-tier world exactly as before.
+	FarPages int
+
+	// FarMinPrio is the demotion gate mirrored from the run-time
+	// layer (kernel.FarConfig.MinPrio): a released page demotes to the
+	// far tier when its eq. 2 reuse priority is >= FarMinPrio, and
+	// goes to swap below it. Zero admits every release.
+	FarMinPrio int
 }
 
 // Policy classifies one array's treatment within one nest.
@@ -162,6 +191,12 @@ type ArrayWindow struct {
 	WindowPages    int64  // version-specific resident window; -1 when unresolved
 	Policy         Policy
 	Note           string // reason for ⊤ or retention, if any
+
+	// FarWindowPages is the demotable volume this nest can push into
+	// the far tier per execution (releases whose priority passes the
+	// FarMinPrio gate); -1 when unresolved, always 0 with the far tier
+	// disabled or under a version that never releases.
+	FarWindowPages int64
 }
 
 // SiteCert is the certificate of one nest occurrence (one call site
@@ -198,6 +233,22 @@ type DeadWindow struct {
 	NestsAfter int // full nests executed after the last touch
 }
 
+// ThrashWindow records a statically wasted demote→promote round
+// trip — the HV015 condition: a buffered (priority>0) release passes
+// the FarMinPrio gate, so memory pressure demotes the window to the
+// far tier, yet the array's provable next use is the immediately
+// following nest — before the demotion can break even, every demoted
+// page faults straight back in.
+type ThrashWindow struct {
+	Proc     string
+	Line     int
+	Array    string
+	Tag      int
+	Priority int
+	NextProc string // nest that re-touches the array
+	NextLine int
+}
+
 // Certificate is the whole-program residency certificate for one
 // version.
 type Certificate struct {
@@ -225,6 +276,23 @@ type Certificate struct {
 
 	Uncertified []UncertifiedNest
 	DeadWindows []DeadWindow
+
+	// Two-tier extension, populated only when Opts.FarPages > 0 (all
+	// zero otherwise). FarBoundPages is the interpreted far-tier peak
+	// occupancy (-1 when some demotable volume stayed unresolved);
+	// FarCertifiedPages clamps it at the tier's physical size, which
+	// keeps it sound regardless — the tier can never hold more slots
+	// than it has. DemoteFlowPages bounds the total DRAM→far demotion
+	// traffic over the whole run (-1 = ⊤: an imprecise or indirect
+	// release can demote the same page repeatedly, so no finite
+	// static bound exists).
+	FarPages          int   // configured far-tier size, from Opts
+	FarMinPrio        int   // demotion gate, from Opts
+	FarBoundPages     int64
+	FarCertifiedPages int64
+	FarClamped        bool
+	DemoteFlowPages   int64
+	ThrashWindows     []ThrashWindow
 }
 
 // Certify interprets the program and its schedule under the given
@@ -246,6 +314,8 @@ func Certify(prog *lang.Program, tgt compiler.Target, hints []compiler.Hint, ver
 		ver:   ver,
 		env:   env,
 		known: knownEnv(prog),
+		far:   int64(opts.FarPages),
+		prio:  opts.FarMinPrio,
 	}
 	return in.run()
 }

@@ -18,7 +18,16 @@ type interp struct {
 	ver   Version
 	env   lang.Env // Known + runtime params: the evaluation environment
 	known lang.Env // compile-time Known only: mirrors the compiler's view
+	far   int64    // far-tier size in pages; 0 = single-tier domain
+	prio  int      // FarMinPrio demotion gate
 }
+
+// farOn reports whether the two-tier domain is active for this
+// interpretation: a far tier is configured and the version's run-time
+// layer issues releases at all (only the releaser demotes — daemon
+// steals and donations go to swap, so O and P never populate the
+// tier).
+func (in *interp) farOn() bool { return in.far > 0 && in.ver.UsesRelease() }
 
 // site is one nest occurrence in program execution order. Procedure
 // nests appear once per call site, with the formals bound to the
@@ -29,6 +38,11 @@ type site struct {
 	root *lang.Loop
 	proc string
 	bind map[string]Poly // formal -> actual, as a Poly over params
+	// mult is the product of the trip counts of the enclosing
+	// (transparent) driver loops: how many times this nest executes
+	// per program run. Carried residency saturates, so the DRAM bound
+	// never needs it, but the demotion-flow bound does.
+	mult Poly
 }
 
 func (s *site) line() int { return s.root.Line }
@@ -59,11 +73,11 @@ func (s *site) label() string {
 // to the callee's nests under the call's formal bindings.
 func (in *interp) sites() []*site {
 	var out []*site
-	in.bodySites(in.prog.Body, "", nil, &out, 0)
+	in.bodySites(in.prog.Body, "", nil, ConstPoly(1), &out, 0)
 	return out
 }
 
-func (in *interp) bodySites(body []lang.Stmt, proc string, bind map[string]Poly, out *[]*site, depth int) {
+func (in *interp) bodySites(body []lang.Stmt, proc string, bind map[string]Poly, mult Poly, out *[]*site, depth int) {
 	if depth > 8 { // defensive: the language has no recursion
 		return
 	}
@@ -71,10 +85,10 @@ func (in *interp) bodySites(body []lang.Stmt, proc string, bind map[string]Poly,
 		switch st := s.(type) {
 		case *lang.Loop:
 			if loopContainsCall(st) {
-				in.bodySites(st.Body, proc, bind, out, depth)
+				in.bodySites(st.Body, proc, bind, mult.Mul(tripPoly(st, bind)), out, depth)
 				continue
 			}
-			*out = append(*out, &site{root: st, proc: proc, bind: bind})
+			*out = append(*out, &site{root: st, proc: proc, bind: bind, mult: mult})
 		case *lang.Call:
 			nb := map[string]Poly{}
 			for i, f := range st.Proc.Formals {
@@ -82,7 +96,7 @@ func (in *interp) bodySites(body []lang.Stmt, proc string, bind map[string]Poly,
 					nb[f] = scalarPoly(st.Args[i], bind)
 				}
 			}
-			in.bodySites(st.Proc.Body, st.Proc.Name, nb, out, depth+1)
+			in.bodySites(st.Proc.Body, st.Proc.Name, nb, mult, out, depth+1)
 		}
 	}
 }
@@ -231,6 +245,17 @@ type arrayState struct {
 	coversWhole bool // the touched interval spans the whole array
 	streamed    bool
 	retain      *compiler.Hint // the priority>0 release behind PolicyRetained
+
+	// Two-tier state (zero unless in.farOn()). farOcc is the array's
+	// demotable occupancy contribution (capped at the whole array;
+	// -1 unresolved); farFlow is the per-execution demotion volume,
+	// uncapped since distinct groups release their pages
+	// independently (-1 = ⊤: an imprecise/indirect release can demote
+	// the same page repeatedly). demote is the first release passing
+	// the FarMinPrio gate, for the thrash-window finding.
+	farOcc  int64
+	farFlow int64
+	demote  *compiler.Hint
 }
 
 func (st *arrayState) note(s string) {
@@ -268,6 +293,7 @@ func (in *interp) analyzeSite(s *site) []*arrayState {
 		groups  map[string]*group
 		order   []string
 		reasons []string
+		rels    []*compiler.Hint // every release on the array at this site
 	}
 	accs := map[*lang.Array]*arrAcc{}
 	var arrOrder []*lang.Array
@@ -362,6 +388,7 @@ func (in *interp) analyzeSite(s *site) []*arrayState {
 			continue
 		}
 		a := acc(h.Array)
+		a.rels = append(a.rels, h)
 		switch {
 		case h.IndexArray != nil || h.Affine == nil:
 			addReason(a, "release of an indirect reference")
@@ -416,6 +443,7 @@ func (in *interp) analyzeSite(s *site) []*arrayState {
 			for _, r := range topReasons {
 				st.note(r)
 			}
+			in.farTop(st, a.rels)
 			out = append(out, st)
 			continue
 		}
@@ -449,6 +477,7 @@ func (in *interp) analyzeSite(s *site) []*arrayState {
 			st.window = st.wholePages
 			st.coversWhole = true
 			st.note("bound unresolved (unbound parameters)")
+			in.farTop(st, a.rels)
 			out = append(out, st)
 			continue
 		}
@@ -497,6 +526,19 @@ func (in *interp) analyzeSite(s *site) []*arrayState {
 				window += spread + pagesAhead[arr] + streamSlackPages
 				anyStream = true
 			}
+			if in.farOn() && g.release != nil && g.release.Priority >= in.prio {
+				// Released pages passing the eq. 2 gate demote to the
+				// far tier (whether the release issues immediately or
+				// drains from the buffer under pressure).
+				st.farOcc += gPages
+				st.farFlow += gPages
+				if st.demote == nil {
+					st.demote = g.release
+				}
+			}
+		}
+		if st.wholePages >= 0 && st.farOcc > st.wholePages {
+			st.farOcc = st.wholePages
 		}
 		if st.wholePages >= 0 && window > st.wholePages+pagesAhead[arr]+streamSlackPages {
 			window = st.wholePages + pagesAhead[arr] + streamSlackPages
@@ -519,4 +561,25 @@ func (in *interp) analyzeSite(s *site) []*arrayState {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].arr.Name < out[j].arr.Name })
 	return out
+}
+
+// farTop applies the two-tier ⊤ to an array state: if any release on
+// the array passes the FarMinPrio gate, its whole extent may end up
+// in the far tier (occupancy degrades to the whole array, possibly
+// unresolved) and the demotion flow is unbounded — a rescued or
+// imprecisely released page can demote again on every pass.
+func (in *interp) farTop(st *arrayState, rels []*compiler.Hint) {
+	if !in.farOn() {
+		return
+	}
+	for _, h := range rels {
+		if h.Priority >= in.prio {
+			st.farOcc = st.wholePages
+			st.farFlow = -1
+			if st.demote == nil {
+				st.demote = h
+			}
+			return
+		}
+	}
 }

@@ -24,17 +24,28 @@ func (c *Certificate) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "residency certificate: %s version %s\n", c.Program, c.Version)
 	fmt.Fprintf(&b, "target: %d pages x %d B", c.Target.MemoryPages, c.Target.PageSize)
+	if c.FarPages > 0 {
+		fmt.Fprintf(&b, "; far tier %d pages (min-prio %d)", c.FarPages, c.FarMinPrio)
+	}
 	if env := envString(c.Env); env != "" {
 		fmt.Fprintf(&b, "; %s", env)
 	}
 	b.WriteString("\n\n")
 
 	for _, s := range c.Sites {
+		cols := []string{"array", "footprint (pages)", "eval", "window", "policy", "note"}
+		if c.FarPages > 0 {
+			cols = append(cols, "far")
+		}
 		t := metrics.NewTable(fmt.Sprintf("nest %s (peak %s pages)", s.Label, pagesStr(s.TotalPages)),
-			"array", "footprint (pages)", "eval", "window", "policy", "note")
+			cols...)
 		for _, w := range s.Windows {
-			t.AddRow(w.Array, w.Footprint.String(), pagesStr(w.FootprintPages),
-				pagesStr(w.WindowPages), w.Policy.String(), w.Note)
+			row := []interface{}{w.Array, w.Footprint.String(), pagesStr(w.FootprintPages),
+				pagesStr(w.WindowPages), w.Policy.String(), w.Note}
+			if c.FarPages > 0 {
+				row = append(row, pagesStr(w.FarWindowPages))
+			}
+			t.AddRow(row...)
 		}
 		b.WriteString(t.String())
 		b.WriteString("\n")
@@ -52,6 +63,20 @@ func (c *Certificate) String() string {
 			c.CertifiedPages, c.PeakSite, c.Target.MemoryPages)
 	}
 
+	if c.FarPages > 0 {
+		switch {
+		case c.FarBoundPages < 0:
+			fmt.Fprintf(&b, "far-tier bound: unresolved; certified far peak clamped at the %d-page tier\n",
+				c.FarCertifiedPages)
+		case c.FarClamped:
+			fmt.Fprintf(&b, "far-tier bound: %d pages; certified far peak clamped at the %d-page tier\n",
+				c.FarBoundPages, c.FarCertifiedPages)
+		default:
+			fmt.Fprintf(&b, "certified far peak: %d pages (tier %d)\n", c.FarCertifiedPages, c.FarPages)
+		}
+		fmt.Fprintf(&b, "demote flow: %s pages\n", pagesStr(c.DemoteFlowPages))
+	}
+
 	for _, u := range c.Uncertified {
 		fmt.Fprintf(&b, "uncertified nest %s:%d:\n", u.Proc, u.Line)
 		for _, r := range u.Reasons {
@@ -61,6 +86,10 @@ func (c *Certificate) String() string {
 	for _, d := range c.DeadWindows {
 		fmt.Fprintf(&b, "dead window: %s retained by priority-%d release (tag %d) at %s:%d with %d nests still to run\n",
 			d.Array, d.Priority, d.Tag, d.Proc, d.Line, d.NestsAfter)
+	}
+	for _, w := range c.ThrashWindows {
+		fmt.Fprintf(&b, "thrash window: %s demoted by priority-%d release (tag %d) at %s:%d is re-touched by the very next nest %s:%d\n",
+			w.Array, w.Priority, w.Tag, w.Proc, w.Line, w.NextProc, w.NextLine)
 	}
 	return b.String()
 }
@@ -86,8 +115,12 @@ func Report(certs map[Version]*Certificate) string {
 	out.WriteString(b.String())
 	out.WriteString("\n")
 
-	t := metrics.NewTable("certified peak by version",
-		"version", "bound (pages)", "certified", "clamped", "peak nest")
+	far := b.FarPages > 0
+	cols := []string{"version", "bound (pages)", "certified", "clamped", "peak nest"}
+	if far {
+		cols = append(cols, "far bound", "far certified", "demote flow")
+	}
+	t := metrics.NewTable("certified peak by version", cols...)
 	for _, v := range Versions() {
 		c := certs[v]
 		if c == nil {
@@ -97,9 +130,17 @@ func Report(certs map[Version]*Certificate) string {
 		if c.Clamped {
 			clamped = "yes"
 		}
-		t.AddRow(v.String(), pagesStr(c.BoundPages), pagesStr(c.CertifiedPages), clamped, c.PeakSite)
+		row := []interface{}{v.String(), pagesStr(c.BoundPages), pagesStr(c.CertifiedPages), clamped, c.PeakSite}
+		if far {
+			row = append(row, pagesStr(c.FarBoundPages), pagesStr(c.FarCertifiedPages), pagesStr(c.DemoteFlowPages))
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("allotment: %d pages; a clamped bound is sound but not tight.", b.Target.MemoryPages)
+	if far {
+		t.AddNote("far tier: %d pages behind the allotment; O/P never demote, priority<%d releases go to swap.",
+			b.FarPages, b.FarMinPrio)
+	}
 	out.WriteString(t.String())
 	return out.String()
 }

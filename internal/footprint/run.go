@@ -46,6 +46,7 @@ func (in *interp) run() *Certificate {
 				WindowPages:    st.window,
 				Policy:         st.policy,
 				Note:           strings.Join(st.notes, "; "),
+				FarWindowPages: st.farOcc,
 			})
 		}
 		cert.Sites = append(cert.Sites, sc)
@@ -124,9 +125,88 @@ func (in *interp) run() *Certificate {
 	}
 	cert.PeakSite = peakSite
 
+	in.certifyFar(sites, states, cert)
 	in.findUncertified(sites, states, cert)
 	in.findDeadWindows(sites, states, cert)
+	in.findThrashWindows(sites, states, cert)
 	return cert
+}
+
+// certifyFar computes the far-tier side of the two-tier certificate:
+// a peak occupancy bound (per-array demotable volume accumulated like
+// DRAM carryover — monotone, capped at the whole array, saturating
+// after the second pass — then summed and clamped at the tier's
+// physical size) and a whole-run demotion flow bound (each site's
+// demotable volume times its driver-loop trip product). The clamp at
+// FarPages keeps the occupancy certificate sound even when a bound
+// stays unresolved: the tier cannot hold more slots than it has.
+func (in *interp) certifyFar(sites []*site, states [][]*arrayState, cert *Certificate) {
+	if in.far <= 0 {
+		return
+	}
+	cert.FarPages = int(in.far)
+	cert.FarMinPrio = in.prio
+
+	occResolved := true
+	farCarry := map[*lang.Array]int64{}
+	for pass := 0; pass < 2; pass++ {
+		for i := range sites {
+			for _, st := range states[i] {
+				if st.farOcc == 0 {
+					continue
+				}
+				if st.farOcc < 0 || st.wholePages < 0 {
+					occResolved = false
+					farCarry[st.arr] = -1
+					continue
+				}
+				if farCarry[st.arr] < 0 {
+					continue
+				}
+				c := farCarry[st.arr] + st.farOcc
+				if c > st.wholePages {
+					c = st.wholePages
+				}
+				farCarry[st.arr] = c
+			}
+		}
+	}
+	var occ int64
+	for _, c := range farCarry {
+		if c < 0 {
+			continue
+		}
+		occ += c
+	}
+	cert.FarBoundPages = occ
+	if !occResolved {
+		cert.FarBoundPages = -1
+	}
+	cert.FarCertifiedPages = occ
+	if cert.FarCertifiedPages > in.far || !occResolved {
+		cert.FarCertifiedPages = in.far
+		cert.FarClamped = true
+	}
+
+	flowResolved := true
+	var flow int64
+	for i, s := range sites {
+		for _, st := range states[i] {
+			if st.farFlow == 0 {
+				continue
+			}
+			mv, err := s.mult.Eval(in.env)
+			if st.farFlow < 0 || err != nil {
+				flowResolved = false
+				continue
+			}
+			flow += mv * st.farFlow
+		}
+	}
+	cert.DemoteFlowPages = flow
+	if !flowResolved {
+		cert.DemoteFlowPages = -1
+	}
 }
 
 // findUncertified records nests whose schedule carries release
@@ -211,6 +291,62 @@ func (in *interp) findDeadWindows(sites []*site, states [][]*arrayState, cert *C
 				Tag:        st.retain.Tag,
 				Priority:   st.retain.Priority,
 				NestsAfter: after,
+			})
+		}
+	}
+}
+
+// findThrashWindows records the HV015 condition, only meaningful in
+// the two-tier domain: a buffered (priority>0) release whose priority
+// also passes the FarMinPrio gate — so memory pressure demotes the
+// retained window to the far tier — while the array's provable next
+// use is the immediately following nest. The demotion can never break
+// even: every demoted page faults straight back in from the far tier
+// before any other work reuses the freed DRAM.
+func (in *interp) findThrashWindows(sites []*site, states [][]*arrayState, cert *Certificate) {
+	if in.far <= 0 {
+		return
+	}
+	pos := map[*lang.Array][]int{} // sites touching each array, in order
+	for i := range sites {
+		for _, st := range states[i] {
+			pos[st.arr] = append(pos[st.arr], i)
+		}
+	}
+	next := func(arr *lang.Array, i int) int {
+		for _, j := range pos[arr] {
+			if j > i {
+				return j
+			}
+		}
+		return -1
+	}
+	seen := map[*lang.Array]bool{}
+	for i, s := range sites {
+		for _, st := range states[i] {
+			if st.retain == nil || st.retain.Priority < in.prio || seen[st.arr] {
+				continue
+			}
+			j := next(st.arr, i)
+			if j != i+1 {
+				continue
+			}
+			seen[st.arr] = true
+			proc, nextProc := s.proc, sites[j].proc
+			if proc == "" {
+				proc = "main"
+			}
+			if nextProc == "" {
+				nextProc = "main"
+			}
+			cert.ThrashWindows = append(cert.ThrashWindows, ThrashWindow{
+				Proc:     proc,
+				Line:     s.line(),
+				Array:    st.arr.Name,
+				Tag:      st.retain.Tag,
+				Priority: st.retain.Priority,
+				NextProc: nextProc,
+				NextLine: sites[j].line(),
 			})
 		}
 	}

@@ -23,7 +23,7 @@ func (v *vetCtx) checkCertificate(hints []compiler.Hint) {
 	if !v.tgt.Release || len(hints) == 0 {
 		return
 	}
-	opts := footprint.Opts{Params: v.opts.Params}
+	opts := footprint.Opts{Params: v.opts.Params, FarPages: v.opts.FarPages, FarMinPrio: v.opts.FarMinPrio}
 	certB := footprint.Certify(v.prog, v.tgt, hints, footprint.VersionB, opts)
 
 	if certB.BoundPages >= 0 && !certB.ParamGaps && certB.BoundPages > int64(v.tgt.MemoryPages) {
@@ -68,6 +68,75 @@ func (v *vetCtx) checkCertificate(hints []compiler.Hint) {
 			Message: fmt.Sprintf("release schedule runs uncertified in this nest: %d array(s) forced to ⊤", len(u.Reasons)),
 			Detail:  strings.Join(u.Reasons, "; "),
 			Fix:     "the certificate falls back to whole-array residency here; rely on run-time filtering, or restructure the accesses to be affine with compile-time-known strides",
+		})
+	}
+
+	if v.opts.FarPages > 0 {
+		v.checkFarCertificate(hints, certB)
+	}
+}
+
+// checkFarCertificate runs the two-tier checks over the buffered
+// certificate: HV014 when the certified far-tier peak exceeds the
+// configured far size, HV015 for statically wasted demote→promote
+// round trips, and HV016 when the FarMinPrio gate is provably inert.
+func (v *vetCtx) checkFarCertificate(hints []compiler.Hint, certB *footprint.Certificate) {
+	if certB.FarBoundPages >= 0 && !certB.ParamGaps && certB.FarBoundPages > int64(v.opts.FarPages) {
+		v.add(Diagnostic{
+			Code: "HV014", Check: "far-overflow", Severity: Warning,
+			Program: v.prog.Name, Tag: -1,
+			Message: fmt.Sprintf("certified far-tier peak %d pages exceeds the %d-page far tier (version B)",
+				certB.FarBoundPages, v.opts.FarPages),
+			Detail: fmt.Sprintf("demotable volume past the min-prio %d gate outgrows the tier; the far allocator will refuse the overflow and route it to swap, forfeiting the tier's latency advantage",
+				v.opts.FarMinPrio),
+			Fix: "grow the far share of the DRAM:far split, raise FarMinPrio to admit less, or lower retention priorities so the windows stream to swap instead",
+		})
+	}
+
+	for _, w := range certB.ThrashWindows {
+		proc := w.Proc
+		if proc == "main" {
+			proc = ""
+		}
+		v.add(Diagnostic{
+			Code: "HV015", Check: "thrash-window", Severity: Warning,
+			Program: v.prog.Name, Proc: proc, Line: w.Line, Array: w.Array, Tag: w.Tag,
+			Message: fmt.Sprintf("demoted window of %q (priority %d) is re-touched by the very next nest", w.Array, w.Priority),
+			Detail: fmt.Sprintf("the priority passes the min-prio %d demotion gate, so memory pressure moves the window to the far tier, yet %s:%d faults it straight back — the round trip can never break even",
+				v.opts.FarMinPrio, w.NextProc, w.NextLine),
+			Fix: "drop the release priority below the demotion gate here, or reorder the nests so the reuse distance exceeds the demotion break-even",
+		})
+	}
+
+	// HV016: the gate is statically inert. Judge from the schedule
+	// itself, not the certificate, so the check also fires when every
+	// release sits in an uncertified (⊤) nest.
+	demotable, swapped := 0, 0
+	for i := range hints {
+		h := &hints[i]
+		if h.Kind == compiler.HintPrefetch {
+			continue
+		}
+		if h.Priority >= v.opts.FarMinPrio {
+			demotable++
+		} else {
+			swapped++
+		}
+	}
+	if demotable+swapped > 0 && (demotable == 0 || swapped == 0) {
+		msg := fmt.Sprintf("min-prio %d gate demotes nothing: no release priority reaches it, the far tier stays empty", v.opts.FarMinPrio)
+		fix := "lower FarMinPrio (or raise retention priorities) so reusable windows actually land in the far tier, or drop the tier from the configuration"
+		if swapped == 0 {
+			msg = fmt.Sprintf("min-prio %d gate demotes everything: every release priority passes it, the gate filters nothing", v.opts.FarMinPrio)
+			fix = "raise FarMinPrio so only windows with real reuse occupy the far tier; priority-0 streams belong on the swap path"
+		}
+		v.add(Diagnostic{
+			Code: "HV016", Check: "dead-threshold", Severity: Warning,
+			Program: v.prog.Name, Tag: -1,
+			Message: msg,
+			Detail: fmt.Sprintf("%d release(s) pass the gate, %d go to swap; a one-sided gate means the DRAM:far split is configured but the eq. 2 priorities never exercise it",
+				demotable, swapped),
+			Fix: fix,
 		})
 	}
 }

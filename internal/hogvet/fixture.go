@@ -17,6 +17,19 @@ func VetParams(c *compiler.Compiled, params map[string]int64) Diagnostics {
 	return VetSchedule(c.Prog, c.Target, c.Hints(), opts)
 }
 
+// VetParamsFar is VetParams with the two-tier certificate checks
+// enabled (HV014–HV016): farPages sizes the modeled far-memory tier
+// and farMinPrio mirrors the kernel's demotion gate
+// (kernel.FarConfig.MinPrio). Shared by the tier fixtures' tests and
+// cmd/gen-golden so both sides certify under identical options.
+func VetParamsFar(c *compiler.Compiled, params map[string]int64, farPages, farMinPrio int) Diagnostics {
+	opts := DefaultOptions()
+	opts.Params = params
+	opts.FarPages = farPages
+	opts.FarMinPrio = farMinPrio
+	return VetSchedule(c.Prog, c.Target, c.Hints(), opts)
+}
+
 // TamperDeadHint returns the compiled schedule with a synthetic
 // release appended for the named never-referenced array, cloned from
 // the schedule's last release so every other check stays quiet

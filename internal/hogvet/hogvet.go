@@ -46,6 +46,21 @@
 //	                                forced to ⊤ for some array in a
 //	                                nest carrying releases — the
 //	                                schedule streams there uncertified
+//	HV014 far-overflow              the two-tier certificate proves the
+//	                                schedule's far-tier peak occupancy
+//	                                exceeds the configured far size at
+//	                                a DRAM:far ratio (the static twin
+//	                                of HV011; needs Options.FarPages)
+//	HV015 thrash-window             a buffered window that passes the
+//	                                FarMinPrio demotion gate is
+//	                                re-touched by the very next nest —
+//	                                a statically wasted demote→promote
+//	                                round trip
+//	HV016 dead-threshold            the FarMinPrio gate provably
+//	                                demotes nothing (no release
+//	                                reaches it) or everything (it
+//	                                filters nothing): the tier is
+//	                                configured but the gate is inert
 //
 // HV000 (analysis-summary) is reserved for informational notes that
 // front ends route through the same formatter (cmd/hogc's -stats
@@ -228,6 +243,14 @@ type Options struct {
 	// residency certification behind HV011–HV013; bounds that stay
 	// unresolved without them never fire HV011.
 	Params map[string]int64
+	// FarPages enables the two-tier certificate checks HV014–HV016,
+	// modeling a far-memory tier of this many pages behind the DRAM
+	// allotment. Zero (the default) keeps the single-tier checks only.
+	FarPages int
+	// FarMinPrio is the demotion gate mirrored from
+	// kernel.FarConfig.MinPrio: releases with eq. 2 priority >=
+	// FarMinPrio demote to the far tier, below it they go to swap.
+	FarMinPrio int
 }
 
 // DefaultOptions returns the standard thresholds.

@@ -193,6 +193,7 @@ type Stats struct {
 	FarFaults        int64 // faults resolved from the far tier (far hits)
 	Demotions        int64 // pages moved DRAM -> far
 	Promotions       int64 // pages moved far -> DRAM (faults + prefetches)
+	PeakFarResident  int64 // high-water mark of the far-tier resident set, in pages
 }
 
 // AS is an address space: a dense page table over a fixed number of
@@ -893,6 +894,9 @@ func (as *AS) TryDemote(vpn int) (demoted bool, dirty bool) {
 	as.Resident--
 	as.FarResident++
 	as.Stats.Demotions++
+	if int64(as.FarResident) > as.Stats.PeakFarResident {
+		as.Stats.PeakFarResident = int64(as.FarResident)
+	}
 	as.notifyOut(vpn)
 	return true, dirty
 }

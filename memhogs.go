@@ -309,6 +309,45 @@ func CertifyBenchmark(name string, m Machine) (string, error) {
 	return footprint.Report(certs), nil
 }
 
+// CertifyBenchmarkTiered renders a benchmark's two-tier residency
+// certificates at every DRAM:far ratio of the tiering campaign
+// (`memhog certify -far`): the machine's memory budget is split by
+// each ratio, the schedule recompiles against the DRAM share, and the
+// report carries the far-tier occupancy and demotion-flow bounds next
+// to the DRAM peaks (the 1:0 baseline reproduces the single-tier
+// certificate). Sections are separated by "==== name @ D:F ===="
+// headers; like CertifyBenchmark the output is a pure function of the
+// benchmark and machine.
+func CertifyBenchmarkTiered(name string, m Machine) (string, error) {
+	spec, err := specFor(name, m)
+	if err != nil {
+		return "", err
+	}
+	cfg := m.kernelConfig()
+	var b strings.Builder
+	for _, ratio := range experiments.TieringRatios {
+		dram, far := ratio.Split(cfg.UserMemPages)
+		tgt := compiler.DefaultTarget(cfg.PageSize, dram)
+		tgt.Prefetch = true
+		tgt.Release = true
+		prog, err := lang.Parse(spec.Source)
+		if err != nil {
+			return "", err
+		}
+		comp, err := compiler.Compile(prog, tgt)
+		if err != nil {
+			return "", err
+		}
+		opts := footprint.Opts{Params: spec.Params, FarPages: far, FarMinPrio: cfg.Far.MinPrio}
+		certs := map[footprint.Version]*footprint.Certificate{}
+		for _, v := range footprint.Versions() {
+			certs[v] = footprint.Certify(prog, tgt, comp.Hints(), v, opts)
+		}
+		fmt.Fprintf(&b, "==== %s @ %s ====\n%s\n", name, ratio, footprint.Report(certs))
+	}
+	return b.String(), nil
+}
+
 // RunOptions configures a Program run.
 type RunOptions struct {
 	// Params binds the program's runtime parameters.
